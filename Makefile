@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build vet test race bench experiments experiments-full stkde cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/stkde ./internal/sched
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/experiments -out results
+
+experiments-full:
+	$(GO) run ./cmd/experiments -full -out results
+
+stkde:
+	$(GO) run ./cmd/stkdebench -out results
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	rm -rf results

@@ -1,0 +1,210 @@
+// Command experiments regenerates the paper's evaluation: Figures 4
+// through 9 and the in-text statistics tables T1-T3 (see DESIGN.md's
+// per-experiment index). ASCII renderings go to stdout; CSV series are
+// written under -out for external plotting.
+//
+// Usage:
+//
+//	experiments                 quick mode (seconds)
+//	experiments -full           paper-scale suites (minutes)
+//	experiments -fig 5          only one figure (4, 5, 6, 7, 8, 9)
+//	experiments -table 1        only one table (1, 2, 3)
+//	experiments -ablations      design-choice comparisons (see DESIGN.md)
+//	experiments -out results    CSV output directory (default "results")
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"stencilivc/internal/datasets"
+	"stencilivc/internal/experiments"
+	"stencilivc/internal/perfprof"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	full := flag.Bool("full", false, "paper-scale suites instead of quick mode")
+	fig := flag.Int("fig", 0, "regenerate only this figure (0 = everything)")
+	table := flag.Int("table", 0, "regenerate only this table (0 = everything)")
+	ablations := flag.Bool("ablations", false, "run only the design-choice ablations")
+	outDir := flag.String("out", "results", "directory for CSV output")
+	flag.Parse()
+
+	if *ablations {
+		rep, err := experiments.RunAblations(1, 8)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Format())
+		return nil
+	}
+
+	opts := experiments.Quick()
+	if *full {
+		opts = experiments.Full()
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	wantFig := func(n int) bool { return (*fig == 0 && *table == 0) || *fig == n }
+	wantTable := func(n int) bool { return (*fig == 0 && *table == 0) || *table == n }
+
+	if wantFig(4) {
+		maps, err := experiments.Fig4(opts.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== Figure 4: dataset xy-projections ===")
+		for _, name := range datasets.Names() {
+			fmt.Println(maps[name])
+		}
+	}
+
+	var res2, res3 *experiments.RunResult
+	need2D := wantFig(5) || wantFig(6) || wantFig(9) || wantTable(1) || wantTable(3)
+	need3D := wantFig(7) || wantFig(8) || wantFig(9) || wantTable(2) || wantTable(3)
+
+	if need2D {
+		var err error
+		res2, err = experiments.Run2DSuite(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("2D suite: %d instances x %d algorithms\n", len(res2.BestValue), 7)
+	}
+	if need3D {
+		var err error
+		res3, err = experiments.Run3DSuite(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("3D suite: %d instances x %d algorithms\n", len(res3.BestValue), 7)
+	}
+
+	if wantFig(5) {
+		if err := emitSuiteFigure(res2, "Figure 5", "fig5", *outDir); err != nil {
+			return err
+		}
+	}
+	if wantFig(6) {
+		fmt.Println("=== Figure 6: 2D performance profiles per dataset ===")
+		for _, name := range datasets.Names() {
+			if err := emitProfile(res2.FilterByDataset(string(name)),
+				fmt.Sprintf("Figure 6 — %s", name),
+				filepath.Join(*outDir, "fig6_"+string(name)+".csv")); err != nil {
+				return err
+			}
+		}
+	}
+	if wantFig(7) {
+		if err := emitSuiteFigure(res3, "Figure 7", "fig7", *outDir); err != nil {
+			return err
+		}
+	}
+	if wantFig(8) {
+		fmt.Println("=== Figure 8: 3D performance profiles per dataset ===")
+		for _, name := range datasets.Names() {
+			if err := emitProfile(res3.FilterByDataset(string(name)),
+				fmt.Sprintf("Figure 8 — %s", name),
+				filepath.Join(*outDir, "fig8_"+string(name)+".csv")); err != nil {
+				return err
+			}
+		}
+	}
+
+	var rep2, rep3 *experiments.OptimalityReport
+	if wantFig(9) || wantTable(3) {
+		var err error
+		rep2, err = res2.ProvenOptimal(opts)
+		if err != nil {
+			return err
+		}
+		rep3, err = res3.ProvenOptimal(opts)
+		if err != nil {
+			return err
+		}
+	}
+	if wantFig(9) {
+		fmt.Println("=== Figure 9: performance profiles against proven optima ===")
+		if err := emitProfile(experiments.OptimalRecords(res2.Records, rep2),
+			"Figure 9a — 2D vs optimum", filepath.Join(*outDir, "fig9a.csv")); err != nil {
+			return err
+		}
+		if err := emitProfile(experiments.OptimalRecords(res3.Records, rep3),
+			"Figure 9b — 3D vs optimum", filepath.Join(*outDir, "fig9b.csv")); err != nil {
+			return err
+		}
+	}
+
+	if wantTable(1) {
+		t1, err := experiments.MakeTable1(res2)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== " + t1.Format())
+	}
+	if wantTable(2) {
+		t2, err := experiments.MakeTable2(res3)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== " + t2.Format())
+	}
+	if wantTable(3) {
+		fmt.Println("=== " + experiments.MakeTable3(rep2).Format("2D"))
+		fmt.Println("=== " + experiments.MakeTable3(rep3).Format("3D"))
+	}
+	return nil
+}
+
+// emitSuiteFigure prints the runtime bars (sub-figure a) and performance
+// profile (sub-figure b) of a full suite, writing CSVs alongside.
+func emitSuiteFigure(res *experiments.RunResult, title, stem, outDir string) error {
+	fmt.Printf("=== %sa: runtime comparison ===\n", title)
+	sums, err := perfprof.Summarize(res.Records)
+	if err != nil {
+		return err
+	}
+	if err := perfprof.RuntimeBars(os.Stdout, sums, 50); err != nil {
+		return err
+	}
+	fmt.Printf("=== %sb: performance profile ===\n", title)
+	if err := emitProfile(res.Records, "", filepath.Join(outDir, stem+"b.csv")); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(outDir, stem+"_records.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return perfprof.WriteRecordsCSV(f, res.Records)
+}
+
+func emitProfile(records []perfprof.Record, title, csvPath string) error {
+	if title != "" {
+		fmt.Println(title)
+	}
+	prof, err := perfprof.Compute(records)
+	if err != nil {
+		return err
+	}
+	if err := prof.PlotASCII(os.Stdout, 64, 16, 0); err != nil {
+		return err
+	}
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return prof.WriteCSV(f)
+}

@@ -1,0 +1,170 @@
+// Command ivc colors a single stencil instance.
+//
+// Usage:
+//
+//	ivc -alg BDP < instance.ivc          color an instance from stdin
+//	ivc -alg all -in instance.ivc        compare all algorithms
+//	ivc -alg SGK -in g.ivc -print        also print the coloring
+//	ivc -alg BDP -in g.ivc -exact 500000 additionally certify optimality
+//	ivc -alg BDP -in g.ivc -simulate 4 -gantt   draw the schedule
+//
+// Instances use the text format of internal/grid: a header line
+// "ivc2d X Y" or "ivc3d X Y Z" followed by the cell weights.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"stencilivc"
+	"stencilivc/internal/bounds"
+	"stencilivc/internal/render"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ivc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	algName := flag.String("alg", "BDP", "algorithm (GLL, GZO, GLF, GKF, SGK, BD, BDP, best, all)")
+	inPath := flag.String("in", "-", "instance file ('-' for stdin)")
+	print := flag.Bool("print", false, "print the start color of every vertex")
+	exactBudget := flag.Int("exact", 0, "if > 0, also run the exact solver with this node budget")
+	workers := flag.Int("simulate", 0, "if > 0, simulate execution on this many processors")
+	gantt := flag.Bool("gantt", false, "with -simulate, draw the schedule as a Gantt chart")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	g2, g3, err := stencilivc.ReadInstance(in)
+	if err != nil {
+		return err
+	}
+
+	var g stencilivc.Graph
+	var lb int64
+	solve := func(alg stencilivc.Algorithm) (stencilivc.Coloring, error) {
+		if g2 != nil {
+			return stencilivc.Solve2D(alg, g2)
+		}
+		return stencilivc.Solve3D(alg, g3)
+	}
+	const cycleBudget = 200_000
+	if g2 != nil {
+		rep := bounds.Report2D(g2, cycleBudget)
+		g, lb = g2, rep.Best()
+		fmt.Printf("instance: 9-pt stencil %dx%d, %d vertices\n", g2.X, g2.Y, g2.Len())
+		fmt.Print(render.Weights2D(g2))
+		fmt.Println(rep)
+	} else {
+		rep := bounds.Report3D(g3, cycleBudget)
+		g, lb = g3, rep.Best()
+		fmt.Printf("instance: 27-pt stencil %dx%dx%d, %d vertices\n", g3.X, g3.Y, g3.Z, g3.Len())
+		fmt.Println(rep)
+	}
+
+	algs := []stencilivc.Algorithm{stencilivc.Algorithm(*algName)}
+	switch *algName {
+	case "all":
+		algs = stencilivc.Algorithms()
+	case "best":
+		t0 := time.Now()
+		var c stencilivc.Coloring
+		var winner stencilivc.Algorithm
+		var err error
+		if g2 != nil {
+			c, winner, err = stencilivc.Best2D(g2)
+		} else {
+			c, winner, err = stencilivc.Best3D(g3)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("best: %-4s maxcolor=%d (%.3fms, all algorithms)\n",
+			winner, c.MaxColor(g), float64(time.Since(t0).Microseconds())/1000)
+		return finish(g, c, lb, *print, *exactBudget, *workers, *gantt, g2, g3)
+	}
+
+	var last stencilivc.Coloring
+	for _, alg := range algs {
+		t0 := time.Now()
+		c, err := solve(alg)
+		if err != nil {
+			return err
+		}
+		dt := time.Since(t0)
+		if err := c.Validate(g); err != nil {
+			return fmt.Errorf("%s produced an invalid coloring: %w", alg, err)
+		}
+		mark := ""
+		if c.MaxColor(g) == lb {
+			mark = "  (provably optimal)"
+		}
+		fmt.Printf("%-4s maxcolor=%-8d %10.3fms%s\n",
+			alg, c.MaxColor(g), float64(dt.Microseconds())/1000, mark)
+		last = c
+	}
+	return finish(g, last, lb, *print, *exactBudget, *workers, *gantt, g2, g3)
+}
+
+func finish(g stencilivc.Graph, c stencilivc.Coloring, lb int64,
+	print bool, exactBudget, workers int, gantt bool,
+	g2 *stencilivc.Grid2D, g3 *stencilivc.Grid3D) error {
+
+	if print {
+		if g2 != nil {
+			fmt.Print(render.Intervals2D(g2, c))
+		} else {
+			for v := 0; v < g.Len(); v++ {
+				fmt.Printf("vertex %d: [%d,%d)\n", v, c.Start[v], c.Start[v]+g.Weight(v))
+			}
+		}
+	}
+	if exactBudget > 0 {
+		var res stencilivc.ExactResult
+		if g2 != nil {
+			res = stencilivc.Optimal2D(g2, exactBudget)
+		} else {
+			res = stencilivc.Optimal3D(g3, exactBudget)
+		}
+		status := "bounds only"
+		if res.Optimal {
+			status = "proven optimal"
+		}
+		fmt.Printf("exact: maxcolor in [%d, %d] (%s, %d nodes)\n",
+			res.LowerBound, res.MaxColor, status, res.NodesUsed)
+	}
+	if workers > 0 {
+		d, err := stencilivc.TaskDAG(g, c)
+		if err != nil {
+			return err
+		}
+		s, err := stencilivc.Simulate(d, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("simulated on %d processors: makespan %d (critical path %d, total work %d)\n",
+			workers, s.Makespan, d.CriticalPath(), d.TotalWork())
+		if gantt {
+			chart, err := render.Gantt(d, s, workers, 72)
+			if err != nil {
+				return err
+			}
+			fmt.Print(chart)
+		}
+	}
+	return nil
+}

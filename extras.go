@@ -1,0 +1,73 @@
+package stencilivc
+
+import (
+	"stencilivc/internal/datasets"
+	"stencilivc/internal/exact"
+	"stencilivc/internal/nae"
+	"stencilivc/internal/stkde"
+)
+
+// Application-facing re-exports: the STKDE demo application (Section VII)
+// and the NAE-3SAT reduction (Section IV) are part of the library's
+// public surface so the examples/ tree compiles against the same API an
+// external user sees.
+
+type (
+	// Point is a spatio-temporal event (x, y, t).
+	Point = datasets.Point
+	// Bounds is an axis-aligned (x, y, t) bounding box.
+	Bounds = datasets.Bounds
+	// STKDE is the space-time kernel density estimation application whose
+	// box-task conflict graph is a 27-pt stencil (Section VII).
+	STKDE = stkde.App
+	// NAEInstance is a Not-All-Equal 3-SAT formula.
+	NAEInstance = nae.Instance
+	// NAELayout is the 3DS-IVC instance built from a NAEInstance by the
+	// NP-completeness reduction, with gadget positions for encoding and
+	// decoding colorings.
+	NAELayout = nae.Layout
+	// Verdict is the outcome of a bounded decision query.
+	Verdict = exact.Verdict
+)
+
+// Decision verdicts.
+const (
+	Unknown    = exact.Unknown
+	Feasible   = exact.Feasible
+	Infeasible = exact.Infeasible
+)
+
+// ReductionK is the color budget of the NP-completeness reduction: the
+// constructed 27-pt stencil is colorable with ReductionK colors iff the
+// NAE-3SAT instance is satisfiable.
+const ReductionK = nae.K
+
+// NewSTKDE configures a kernel density computation: points over bounds,
+// a vx×vy×vt voxel output field, a bx×by×bt box partition (each box must
+// span at least twice the bandwidth), and spatial/temporal bandwidths.
+func NewSTKDE(points []Point, bounds Bounds,
+	vx, vy, vt, bx, by, bt int, bwS, bwT float64) (*STKDE, error) {
+	return stkde.New(points, bounds, vx, vy, vt, bx, by, bt, bwS, bwT)
+}
+
+// BuildNAEReduction constructs the Section IV reduction instance.
+func BuildNAEReduction(inst NAEInstance) (*NAELayout, error) { return nae.Build(inst) }
+
+// EncodeNAEColoring turns a satisfying assignment into a valid coloring
+// of the reduction instance with maxcolor <= ReductionK.
+func EncodeNAEColoring(l *NAELayout, assignment []bool) (Coloring, error) {
+	return nae.AssignmentColoring(l, assignment)
+}
+
+// DecodeNAEColoring reads a satisfying assignment back out of any valid
+// coloring of the reduction instance with maxcolor <= ReductionK.
+func DecodeNAEColoring(l *NAELayout, c Coloring) []bool {
+	return nae.DecodeAssignment(l, c)
+}
+
+// Decide reports whether g can be colored with maxcolor <= K within the
+// given search-node budget (0 picks a default). On Feasible the returned
+// coloring is a valid witness.
+func Decide(g Graph, K int64, nodeBudget int) (Verdict, Coloring) {
+	return exact.Decide(g, K, exact.DecideOptions{NodeBudget: nodeBudget})
+}

@@ -1,0 +1,3 @@
+module stencilivc
+
+go 1.22

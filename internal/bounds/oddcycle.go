@@ -1,0 +1,126 @@
+package bounds
+
+import "stencilivc/internal/core"
+
+// OddCycle returns the odd-cycle lower bound of Section III-C: the largest
+// minchain3 over the odd cycles of g reachable within the search budget,
+// where minchain3(C) is the minimum weight of three consecutive vertices
+// around cycle C. By Theorem 1 the optimal coloring of an odd cycle is
+// max(maxpair, minchain3), and subgraph optima bound the full graph, so
+// every discovered value is a valid lower bound.
+//
+// The number of odd cycles is exponential (Section III-C notes that no
+// efficient identification is known), so the search enumerates simple
+// cycles of length at most maxLen with a node budget and returns the best
+// bound found; it never overstates. maxLen below 3 disables the search.
+func OddCycle(g core.Graph, maxLen, budget int) int64 {
+	if maxLen < 3 || g.Len() < 3 {
+		return 0
+	}
+	s := cycleSearch{
+		g:      g,
+		maxLen: maxLen,
+		budget: budget,
+		onPath: make([]bool, g.Len()),
+	}
+	// Zero-weight vertices never help: a cycle through one has a 3-window
+	// summing just two adjacent weights, so its minchain3 is at most the
+	// pair bound that MaxPair already covers. Restricting the search to
+	// positive vertices keeps it exact for every useful cycle and prunes
+	// the (often huge) empty regions of voxelized instances.
+	for root := 0; root < g.Len() && s.budget > 0; root++ {
+		if g.Weight(root) == 0 {
+			continue
+		}
+		s.root = root
+		s.path = s.path[:0]
+		s.push(root)
+		s.dfs()
+		s.pop()
+	}
+	return s.best
+}
+
+type cycleSearch struct {
+	g      core.Graph
+	root   int
+	maxLen int
+	budget int
+	best   int64
+	path   []int
+	onPath []bool
+	nbuf   []int
+}
+
+func (s *cycleSearch) push(v int) {
+	s.path = append(s.path, v)
+	s.onPath[v] = true
+}
+
+func (s *cycleSearch) pop() {
+	v := s.path[len(s.path)-1]
+	s.path = s.path[:len(s.path)-1]
+	s.onPath[v] = false
+}
+
+// dfs extends the current path. To enumerate each cycle once, paths only
+// visit vertices greater than the root, and a cycle is recorded when the
+// path's tip neighbors the root at odd length >= 3.
+func (s *cycleSearch) dfs() {
+	if s.budget <= 0 {
+		return
+	}
+	s.budget--
+	tip := s.path[len(s.path)-1]
+	nbrs := s.g.Neighbors(tip, nil) // fresh slice: recursion would clobber a shared buffer
+	for _, u := range nbrs {
+		if u == s.root && len(s.path) >= 3 && len(s.path)%2 == 1 {
+			s.record()
+			continue
+		}
+		if u <= s.root || s.onPath[u] || len(s.path) >= s.maxLen || s.g.Weight(u) == 0 {
+			continue
+		}
+		s.push(u)
+		s.dfs()
+		s.pop()
+	}
+}
+
+// record computes minchain3 of the cycle currently held in path (closed
+// through the root) and keeps the maximum.
+func (s *cycleSearch) record() {
+	n := len(s.path)
+	minChain := int64(1) << 62
+	for i := 0; i < n; i++ {
+		sum := s.g.Weight(s.path[i]) +
+			s.g.Weight(s.path[(i+1)%n]) +
+			s.g.Weight(s.path[(i+2)%n])
+		minChain = min(minChain, sum)
+	}
+	s.best = max(s.best, minChain)
+}
+
+// MaxPairOfCycle and MinChain3OfCycle expose the two quantities of
+// Theorem 1 for an explicit cycle given as a weight sequence. They are
+// used by the odd-cycle optimal algorithm and its tests.
+
+// MaxPairOfCycle returns max_i w(i)+w(i+1) around the cycle.
+func MaxPairOfCycle(weights []int64) int64 {
+	n := len(weights)
+	var b int64
+	for i := 0; i < n; i++ {
+		b = max(b, weights[i]+weights[(i+1)%n])
+	}
+	return b
+}
+
+// MinChain3OfCycle returns min_i w(i)+w(i+1)+w(i+2) around the cycle.
+func MinChain3OfCycle(weights []int64) int64 {
+	n := len(weights)
+	m := int64(1) << 62
+	for i := 0; i < n; i++ {
+		m = min(m, weights[i]+weights[(i+1)%n]+weights[(i+2)%n])
+	}
+	return m
+}

@@ -1,0 +1,72 @@
+package bounds
+
+import (
+	"fmt"
+
+	"stencilivc/internal/grid"
+)
+
+// Report collects every lower bound of Section III for one instance, so
+// tools can show which structure is binding.
+type Report struct {
+	// Pair is the max edge bound (max single weight / adjacent pair sum).
+	Pair int64
+	// Clique is the max K4 (2D) or K8 (3D) block bound.
+	Clique int64
+	// OddCycle is the best odd-cycle minchain3 found within the budget
+	// (0 when the search was disabled or found nothing above zero).
+	OddCycle int64
+	// CycleBudget is the node budget the cycle search ran with.
+	CycleBudget int
+}
+
+// Best returns the strongest bound of the report.
+func (r Report) Best() int64 {
+	return max(r.Pair, max(r.Clique, r.OddCycle))
+}
+
+// Binding names the structure achieving the best bound, preferring the
+// cheaper certificates on ties (pair, then clique, then odd cycle).
+func (r Report) Binding() string {
+	best := r.Best()
+	switch {
+	case r.Pair == best:
+		return "pair"
+	case r.Clique == best:
+		return "clique"
+	default:
+		return "odd-cycle"
+	}
+}
+
+// String renders the report on one line.
+func (r Report) String() string {
+	return fmt.Sprintf("lower bounds: pair=%d clique=%d odd-cycle=%d -> %d (%s)",
+		r.Pair, r.Clique, r.OddCycle, r.Best(), r.Binding())
+}
+
+// Report2D computes all bounds of a 9-pt stencil instance.
+func Report2D(g *grid.Grid2D, cycleBudget int) Report {
+	r := Report{
+		Pair:        MaxPair(g),
+		Clique:      MaxK4(g),
+		CycleBudget: cycleBudget,
+	}
+	if cycleBudget > 0 {
+		r.OddCycle = OddCycle(g, g.Len(), cycleBudget)
+	}
+	return r
+}
+
+// Report3D computes all bounds of a 27-pt stencil instance.
+func Report3D(g *grid.Grid3D, cycleBudget int) Report {
+	r := Report{
+		Pair:        MaxPair(g),
+		Clique:      MaxK8(g),
+		CycleBudget: cycleBudget,
+	}
+	if cycleBudget > 0 {
+		r.OddCycle = OddCycle(g, min(g.Len(), 15), cycleBudget)
+	}
+	return r
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewColoringAllUnset(t *testing.T) {
+	c := NewColoring(4)
+	for v := 0; v < 4; v++ {
+		if c.Colored(v) {
+			t.Errorf("vertex %d colored at init", v)
+		}
+	}
+}
+
+func TestColoringClone(t *testing.T) {
+	c := NewColoring(2)
+	c.Start[0] = 5
+	d := c.Clone()
+	d.Start[0] = 9
+	if c.Start[0] != 5 {
+		t.Error("Clone aliases original storage")
+	}
+}
+
+func TestColoringInterval(t *testing.T) {
+	g := Chain([]int64{3, 0})
+	c := NewColoring(2)
+	c.Start[0] = 2
+	if iv := c.Interval(g, 0); iv != (Interval{2, 5}) {
+		t.Errorf("Interval(0) = %v", iv)
+	}
+	if iv := c.Interval(g, 1); !iv.Empty() {
+		t.Errorf("uncolored interval = %v, want empty", iv)
+	}
+	c.Start[1] = 7
+	if iv := c.Interval(g, 1); !iv.Empty() {
+		t.Errorf("zero-weight interval = %v, want empty", iv)
+	}
+}
+
+func TestMaxColor(t *testing.T) {
+	g := Chain([]int64{3, 4, 2})
+	c := NewColoring(3)
+	c.Start[0], c.Start[1], c.Start[2] = 0, 3, 0
+	if mc := c.MaxColor(g); mc != 7 {
+		t.Errorf("MaxColor = %d, want 7", mc)
+	}
+	if mc := NewColoring(3).MaxColor(g); mc != 0 {
+		t.Errorf("empty MaxColor = %d, want 0", mc)
+	}
+}
+
+func TestValidateAcceptsValid(t *testing.T) {
+	g := Chain([]int64{3, 4, 2})
+	c := NewColoring(3)
+	c.Start[0], c.Start[1], c.Start[2] = 0, 3, 0
+	if err := c.Validate(g); err != nil {
+		t.Errorf("valid coloring rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	g := Chain([]int64{3, 4, 2})
+
+	c := NewColoring(3)
+	c.Start[0], c.Start[1], c.Start[2] = 0, 2, 8 // 0 and 1 overlap
+	if err := c.Validate(g); err == nil {
+		t.Error("overlapping coloring accepted")
+	}
+
+	c = NewColoring(3)
+	c.Start[0], c.Start[1] = 0, 3 // vertex 2 uncolored
+	if err := c.Validate(g); err == nil {
+		t.Error("partial coloring accepted by Validate")
+	}
+
+	c = NewColoring(3)
+	c.Start[0], c.Start[1], c.Start[2] = -2, 3, 0
+	// Start -2 is negative but also equals... ensure negative rejected.
+	if err := c.Validate(g); err == nil {
+		t.Error("negative start accepted")
+	}
+
+	if err := NewColoring(2).Validate(g); !errors.Is(err, ErrInvalidColoring) {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestValidateZeroWeightNeverConflicts(t *testing.T) {
+	g := Clique([]int64{0, 0, 5})
+	c := NewColoring(3)
+	c.Start[0], c.Start[1], c.Start[2] = 0, 0, 0
+	if err := c.Validate(g); err != nil {
+		t.Errorf("zero-weight conflict reported: %v", err)
+	}
+}
+
+func TestValidatePartial(t *testing.T) {
+	g := Chain([]int64{3, 4, 2})
+	c := NewColoring(3)
+	c.Start[0] = 0
+	if err := c.ValidatePartial(g); err != nil {
+		t.Errorf("partial valid coloring rejected: %v", err)
+	}
+	c.Start[1] = 1 // overlaps vertex 0
+	if err := c.ValidatePartial(g); err == nil {
+		t.Error("partial overlap accepted")
+	}
+	c.Start[1] = Unset
+	c.Start[2] = -4
+	if err := c.ValidatePartial(g); err == nil {
+		t.Error("negative start accepted in partial validation")
+	}
+	if err := NewColoring(1).ValidatePartial(g); err == nil {
+		t.Error("size mismatch accepted in partial validation")
+	}
+}

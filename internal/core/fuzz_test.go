@@ -1,0 +1,36 @@
+package core
+
+import "testing"
+
+// FuzzLowestFit cross-checks the gap-scan placement against the
+// color-by-color reference on fuzzer-chosen occupations.
+func FuzzLowestFit(f *testing.F) {
+	f.Add(int64(0), int64(3), int64(5), int64(2), int64(4), int64(2), uint8(2))
+	f.Add(int64(1), int64(1), int64(1), int64(1), int64(1), int64(1), uint8(0))
+	f.Fuzz(func(t *testing.T, s1, w1, s2, w2, s3, w3 int64, wRaw uint8) {
+		norm := func(v int64) int64 {
+			if v < 0 {
+				v = -v
+			}
+			return v % 40
+		}
+		occ := []Interval{
+			NewInterval(norm(s1), norm(w1)%8),
+			NewInterval(norm(s2), norm(w2)%8),
+			NewInterval(norm(s3), norm(w3)%8),
+		}
+		w := int64(wRaw % 9)
+		got := LowestFit(append([]Interval{}, occ...), w)
+		want := bruteLowestFit(occ, w)
+		if got != want {
+			t.Fatalf("LowestFit(%v, %d) = %d, reference %d", occ, w, got, want)
+		}
+		// The result must actually be feasible and minimal.
+		cand := NewInterval(got, w)
+		for _, iv := range occ {
+			if cand.Overlaps(iv) {
+				t.Fatalf("returned placement overlaps %v", iv)
+			}
+		}
+	})
+}

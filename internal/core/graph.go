@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is the minimal view of a weighted undirected graph needed by the
+// coloring algorithms. Implementations must be safe for concurrent reads.
+//
+// Neighbors appends the neighbors of v to buf and returns the extended
+// slice; callers pass buf[:0] of a reusable slice to avoid allocation.
+// Implicit graphs (stencils) synthesize the list from coordinates, so no
+// adjacency is ever stored for the grid cases.
+type Graph interface {
+	// Len returns the number of vertices. Vertices are 0..Len()-1.
+	Len() int
+	// Weight returns the (non-negative) weight of vertex v.
+	Weight(v int) int64
+	// Neighbors appends the neighbors of v to buf and returns it.
+	Neighbors(v int, buf []int) []int
+}
+
+// Degree returns the number of neighbors of v. It is a convenience for
+// callers that do not keep a scratch buffer.
+func Degree(g Graph, v int) int {
+	return len(g.Neighbors(v, nil))
+}
+
+// TotalWeight returns the sum of all vertex weights.
+func TotalWeight(g Graph) int64 {
+	var sum int64
+	for v := 0; v < g.Len(); v++ {
+		sum += g.Weight(v)
+	}
+	return sum
+}
+
+// MaxWeight returns the largest vertex weight (0 for an empty graph).
+func MaxWeight(g Graph) int64 {
+	var mw int64
+	for v := 0; v < g.Len(); v++ {
+		mw = max(mw, g.Weight(v))
+	}
+	return mw
+}
+
+// CountEdges returns the number of undirected edges of g.
+func CountEdges(g Graph) int {
+	var buf []int
+	edges := 0
+	for v := 0; v < g.Len(); v++ {
+		buf = g.Neighbors(v, buf[:0])
+		for _, u := range buf {
+			if u > v {
+				edges++
+			}
+		}
+	}
+	return edges
+}
+
+// CSRGraph is a general weighted graph in compressed sparse row form.
+// It implements Graph and is used for the non-stencil structures of the
+// paper: chains, cycles, cliques, bipartite graphs, and arbitrary test
+// graphs.
+type CSRGraph struct {
+	offsets []int32
+	adj     []int32
+	weights []int64
+}
+
+var _ Graph = (*CSRGraph)(nil)
+
+// Edge is an undirected edge between vertices U and V.
+type Edge struct {
+	U, V int
+}
+
+// NewCSRGraph builds a CSR graph from vertex weights and an undirected
+// edge list. Self loops and duplicate edges are rejected: a self loop on a
+// positive-weight vertex makes the instance infeasible, and duplicates
+// would silently skew degree-based heuristics.
+func NewCSRGraph(weights []int64, edges []Edge) (*CSRGraph, error) {
+	n := len(weights)
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("core: negative weight %d", w)
+		}
+	}
+	deg := make([]int32, n)
+	for _, e := range edges {
+		if e.U == e.V {
+			return nil, fmt.Errorf("core: self loop on vertex %d", e.U)
+		}
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("core: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	offsets := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	adj := make([]int32, offsets[n])
+	fill := make([]int32, n)
+	copy(fill, offsets[:n])
+	for _, e := range edges {
+		adj[fill[e.U]] = int32(e.V)
+		fill[e.U]++
+		adj[fill[e.V]] = int32(e.U)
+		fill[e.V]++
+	}
+	// Sort each adjacency run and detect duplicates.
+	for v := 0; v < n; v++ {
+		run := adj[offsets[v]:offsets[v+1]]
+		sort.Slice(run, func(i, j int) bool { return run[i] < run[j] })
+		for i := 1; i < len(run); i++ {
+			if run[i] == run[i-1] {
+				return nil, fmt.Errorf("core: duplicate edge (%d,%d)", v, run[i])
+			}
+		}
+	}
+	w := make([]int64, n)
+	copy(w, weights)
+	return &CSRGraph{offsets: offsets, adj: adj, weights: w}, nil
+}
+
+// MustCSRGraph is NewCSRGraph that panics on error; for tests and
+// literals whose validity is static.
+func MustCSRGraph(weights []int64, edges []Edge) *CSRGraph {
+	g, err := NewCSRGraph(weights, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Len returns the number of vertices.
+func (g *CSRGraph) Len() int { return len(g.weights) }
+
+// Weight returns the weight of vertex v.
+func (g *CSRGraph) Weight(v int) int64 { return g.weights[v] }
+
+// SetWeight replaces the weight of vertex v.
+func (g *CSRGraph) SetWeight(v int, w int64) {
+	if w < 0 {
+		panic(fmt.Sprintf("core: negative weight %d", w))
+	}
+	g.weights[v] = w
+}
+
+// Neighbors appends the neighbors of v to buf and returns it.
+func (g *CSRGraph) Neighbors(v int, buf []int) []int {
+	for _, u := range g.adj[g.offsets[v]:g.offsets[v+1]] {
+		buf = append(buf, int(u))
+	}
+	return buf
+}
+
+// Chain returns the path graph v0 - v1 - ... - v_{n-1} with the given
+// weights (the 1×N stencil degenerate case, Section II of the paper).
+func Chain(weights []int64) *CSRGraph {
+	edges := make([]Edge, 0, max(0, len(weights)-1))
+	for i := 0; i+1 < len(weights); i++ {
+		edges = append(edges, Edge{i, i + 1})
+	}
+	return MustCSRGraph(weights, edges)
+}
+
+// Cycle returns the cycle graph on len(weights) >= 3 vertices where vertex
+// i neighbors i±1 mod n, as in Section III-C of the paper.
+func Cycle(weights []int64) (*CSRGraph, error) {
+	n := len(weights)
+	if n < 3 {
+		return nil, fmt.Errorf("core: cycle needs >= 3 vertices, got %d", n)
+	}
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{i, (i + 1) % n})
+	}
+	return NewCSRGraph(weights, edges)
+}
+
+// Clique returns the complete graph on the given weights (Section III-A).
+func Clique(weights []int64) *CSRGraph {
+	n := len(weights)
+	edges := make([]Edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, Edge{i, j})
+		}
+	}
+	return MustCSRGraph(weights, edges)
+}
+
+// CompleteBipartite returns K_{|a|,|b|}: part A holds vertices 0..len(a)-1
+// with weights a, part B holds the rest with weights b.
+func CompleteBipartite(a, b []int64) *CSRGraph {
+	weights := append(append([]int64{}, a...), b...)
+	edges := make([]Edge, 0, len(a)*len(b))
+	for i := range a {
+		for j := range b {
+			edges = append(edges, Edge{i, len(a) + j})
+		}
+	}
+	return MustCSRGraph(weights, edges)
+}
+
+// InducedSubgraph returns the subgraph of g induced by keep (a vertex
+// subset given as original ids) together with the mapping from new vertex
+// ids to original ids. Vertices are renumbered 0..len(keep)-1 following
+// the order of keep. Duplicate ids in keep are rejected.
+func InducedSubgraph(g Graph, keep []int) (*CSRGraph, []int, error) {
+	remap := make(map[int]int, len(keep))
+	for newID, old := range keep {
+		if _, dup := remap[old]; dup {
+			return nil, nil, fmt.Errorf("core: duplicate vertex %d in subset", old)
+		}
+		if old < 0 || old >= g.Len() {
+			return nil, nil, fmt.Errorf("core: vertex %d out of range", old)
+		}
+		remap[old] = newID
+	}
+	weights := make([]int64, len(keep))
+	var edges []Edge
+	var buf []int
+	for newID, old := range keep {
+		weights[newID] = g.Weight(old)
+		buf = g.Neighbors(old, buf[:0])
+		for _, u := range buf {
+			if nu, ok := remap[u]; ok && nu > newID {
+				edges = append(edges, Edge{newID, nu})
+			}
+		}
+	}
+	sub, err := NewCSRGraph(weights, edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	orig := append([]int{}, keep...)
+	return sub, orig, nil
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"testing"
+)
+
+func neighborsOf(g Graph, v int) []int {
+	n := g.Neighbors(v, nil)
+	sort.Ints(n)
+	return n
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewCSRGraphBasic(t *testing.T) {
+	g, err := NewCSRGraph([]int64{1, 2, 3}, []Edge{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if got := neighborsOf(g, 1); !equalInts(got, []int{0, 2}) {
+		t.Errorf("Neighbors(1) = %v", got)
+	}
+	if got := neighborsOf(g, 0); !equalInts(got, []int{1}) {
+		t.Errorf("Neighbors(0) = %v", got)
+	}
+	if g.Weight(2) != 3 {
+		t.Errorf("Weight(2) = %d", g.Weight(2))
+	}
+}
+
+func TestNewCSRGraphErrors(t *testing.T) {
+	if _, err := NewCSRGraph([]int64{1, 1}, []Edge{{0, 0}}); err == nil {
+		t.Error("self loop accepted")
+	}
+	if _, err := NewCSRGraph([]int64{1, 1}, []Edge{{0, 2}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := NewCSRGraph([]int64{1, 1}, []Edge{{0, 1}, {1, 0}}); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if _, err := NewCSRGraph([]int64{-1}, nil); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestChain(t *testing.T) {
+	g := Chain([]int64{5, 1, 4, 2})
+	if got := CountEdges(g); got != 3 {
+		t.Errorf("edges = %d", got)
+	}
+	if got := neighborsOf(g, 0); !equalInts(got, []int{1}) {
+		t.Errorf("Neighbors(0) = %v", got)
+	}
+	if got := neighborsOf(g, 2); !equalInts(got, []int{1, 3}) {
+		t.Errorf("Neighbors(2) = %v", got)
+	}
+	single := Chain([]int64{7})
+	if single.Len() != 1 || CountEdges(single) != 0 {
+		t.Error("singleton chain malformed")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g, err := Cycle([]int64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CountEdges(g) != 5 {
+		t.Errorf("edges = %d", CountEdges(g))
+	}
+	if got := neighborsOf(g, 0); !equalInts(got, []int{1, 4}) {
+		t.Errorf("Neighbors(0) = %v", got)
+	}
+	if _, err := Cycle([]int64{1, 2}); err == nil {
+		t.Error("2-cycle accepted")
+	}
+}
+
+func TestClique(t *testing.T) {
+	g := Clique([]int64{1, 2, 3, 4})
+	if CountEdges(g) != 6 {
+		t.Errorf("edges = %d", CountEdges(g))
+	}
+	for v := 0; v < 4; v++ {
+		if Degree(g, v) != 3 {
+			t.Errorf("degree(%d) = %d", v, Degree(g, v))
+		}
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite([]int64{1, 2}, []int64{3, 4, 5})
+	if g.Len() != 5 || CountEdges(g) != 6 {
+		t.Fatalf("Len=%d edges=%d", g.Len(), CountEdges(g))
+	}
+	if got := neighborsOf(g, 0); !equalInts(got, []int{2, 3, 4}) {
+		t.Errorf("Neighbors(0) = %v", got)
+	}
+	if g.Weight(4) != 5 {
+		t.Errorf("Weight(4) = %d", g.Weight(4))
+	}
+}
+
+func TestTotalAndMaxWeight(t *testing.T) {
+	g := Chain([]int64{5, 1, 9, 2})
+	if TotalWeight(g) != 17 {
+		t.Errorf("TotalWeight = %d", TotalWeight(g))
+	}
+	if MaxWeight(g) != 9 {
+		t.Errorf("MaxWeight = %d", MaxWeight(g))
+	}
+}
+
+func TestSetWeight(t *testing.T) {
+	g := Chain([]int64{1, 2})
+	g.SetWeight(0, 10)
+	if g.Weight(0) != 10 {
+		t.Errorf("Weight(0) = %d", g.Weight(0))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative SetWeight did not panic")
+		}
+	}()
+	g.SetWeight(1, -3)
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Clique([]int64{10, 20, 30, 40})
+	sub, orig, err := InducedSubgraph(g, []int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 2 || CountEdges(sub) != 1 {
+		t.Fatalf("sub Len=%d edges=%d", sub.Len(), CountEdges(sub))
+	}
+	if sub.Weight(0) != 40 || sub.Weight(1) != 20 {
+		t.Errorf("weights %d,%d", sub.Weight(0), sub.Weight(1))
+	}
+	if !equalInts(orig, []int{3, 1}) {
+		t.Errorf("orig = %v", orig)
+	}
+	if _, _, err := InducedSubgraph(g, []int{1, 1}); err == nil {
+		t.Error("duplicate subset accepted")
+	}
+	if _, _, err := InducedSubgraph(g, []int{9}); err == nil {
+		t.Error("out-of-range subset accepted")
+	}
+}
+
+func TestNeighborsBufferReuse(t *testing.T) {
+	g := Clique([]int64{1, 1, 1, 1, 1})
+	buf := make([]int, 0, 8)
+	a := g.Neighbors(0, buf[:0])
+	b := g.Neighbors(1, buf[:0])
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("degrees %d,%d", len(a), len(b))
+	}
+	// b overwrote the shared buffer; only b's contents are guaranteed now.
+	sort.Ints(b)
+	if !equalInts(b, []int{0, 2, 3, 4}) {
+		t.Errorf("Neighbors(1) = %v", b)
+	}
+}
+
+func TestMustCSRGraphPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCSRGraph did not panic on bad input")
+		}
+	}()
+	MustCSRGraph([]int64{1}, []Edge{{0, 0}})
+}
+
+func TestValidateErrorsIs(t *testing.T) {
+	g := Chain([]int64{2, 2})
+	c := NewColoring(2)
+	c.Start[0], c.Start[1] = 0, 1 // overlap
+	if err := c.Validate(g); !errors.Is(err, ErrInvalidColoring) {
+		t.Errorf("Validate error = %v, want ErrInvalidColoring", err)
+	}
+}

@@ -1,0 +1,73 @@
+// Package core defines the fundamental types of the interval vertex
+// coloring (IVC) problem: color intervals, weighted graphs, colorings,
+// and the lowest-fit interval placement engine shared by every greedy
+// heuristic in this module.
+//
+// Terminology follows Durrman & Saule, "Coloring the Vertices of 9-pt and
+// 27-pt Stencils with Intervals" (IPPS 2022): a vertex v of weight w(v) is
+// colored with the half-open interval [start(v), start(v)+w(v)); a coloring
+// is valid when neighboring vertices receive disjoint intervals, and its
+// cost is maxcolor = max_v start(v)+w(v).
+package core
+
+import "fmt"
+
+// Interval is a half-open interval of colors [Start, End).
+// An interval with End <= Start is empty and overlaps nothing.
+type Interval struct {
+	Start int64
+	End   int64
+}
+
+// NewInterval returns the interval [start, start+width).
+func NewInterval(start, width int64) Interval {
+	return Interval{Start: start, End: start + width}
+}
+
+// Len returns the number of colors in the interval (0 when empty).
+func (iv Interval) Len() int64 {
+	if iv.End <= iv.Start {
+		return 0
+	}
+	return iv.End - iv.Start
+}
+
+// Empty reports whether the interval contains no colors.
+func (iv Interval) Empty() bool { return iv.End <= iv.Start }
+
+// Overlaps reports whether two intervals share at least one color.
+// Empty intervals overlap nothing, matching the convention that a
+// zero-weight vertex conflicts with no neighbor.
+func (iv Interval) Overlaps(o Interval) bool {
+	if iv.Empty() || o.Empty() {
+		return false
+	}
+	return iv.Start < o.End && o.Start < iv.End
+}
+
+// Contains reports whether color c falls inside the interval.
+func (iv Interval) Contains(c int64) bool {
+	return c >= iv.Start && c < iv.End
+}
+
+// String renders the interval in the paper's [start, end) notation.
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%d,%d)", iv.Start, iv.End)
+}
+
+// byStart orders intervals by Start, breaking ties by End. It is the
+// ordering required by LowestFit.
+func byStart(a, b Interval) int {
+	switch {
+	case a.Start < b.Start:
+		return -1
+	case a.Start > b.Start:
+		return 1
+	case a.End < b.End:
+		return -1
+	case a.End > b.End:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalLen(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want int64
+	}{
+		{Interval{0, 5}, 5},
+		{Interval{3, 3}, 0},
+		{Interval{5, 2}, 0},
+		{Interval{-2, 2}, 4},
+	}
+	for _, tc := range cases {
+		if got := tc.iv.Len(); got != tc.want {
+			t.Errorf("Len(%v) = %d, want %d", tc.iv, got, tc.want)
+		}
+	}
+}
+
+func TestIntervalEmpty(t *testing.T) {
+	if !(Interval{4, 4}).Empty() {
+		t.Error("[4,4) should be empty")
+	}
+	if !(Interval{7, 3}).Empty() {
+		t.Error("[7,3) should be empty")
+	}
+	if (Interval{0, 1}).Empty() {
+		t.Error("[0,1) should not be empty")
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want bool
+	}{
+		{Interval{0, 5}, Interval{5, 10}, false}, // touching, half-open
+		{Interval{0, 5}, Interval{4, 10}, true},
+		{Interval{0, 5}, Interval{0, 5}, true},
+		{Interval{2, 3}, Interval{0, 10}, true},  // containment
+		{Interval{0, 0}, Interval{0, 10}, false}, // empty never overlaps
+		{Interval{0, 10}, Interval{5, 5}, false},
+		{Interval{0, 3}, Interval{7, 9}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Overlaps(tc.b); got != tc.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.b.Overlaps(tc.a); got != tc.want {
+			t.Errorf("Overlaps not symmetric on %v,%v", tc.a, tc.b)
+		}
+	}
+}
+
+func TestIntervalOverlapsSymmetricQuick(t *testing.T) {
+	f := func(a1, a2, b1, b2 int16) bool {
+		a := Interval{int64(a1), int64(a2)}
+		b := Interval{int64(b1), int64(b2)}
+		return a.Overlaps(b) == b.Overlaps(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalOverlapsMatchesPointwiseQuick(t *testing.T) {
+	// Overlap iff a shared integer color exists; brute-force over a small
+	// universe to cross-check the arithmetic definition.
+	f := func(a1 uint8, aw uint8, b1 uint8, bw uint8) bool {
+		a := NewInterval(int64(a1%40), int64(aw%8))
+		b := NewInterval(int64(b1%40), int64(bw%8))
+		shared := false
+		for c := int64(0); c < 64; c++ {
+			if a.Contains(c) && b.Contains(c) {
+				shared = true
+			}
+		}
+		return a.Overlaps(b) == shared
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{3, 6}
+	for c, want := range map[int64]bool{2: false, 3: true, 5: true, 6: false} {
+		if iv.Contains(c) != want {
+			t.Errorf("Contains(%d) = %v, want %v", c, !want, want)
+		}
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	if s := (Interval{2, 7}).String(); s != "[2,7)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestNewInterval(t *testing.T) {
+	iv := NewInterval(4, 3)
+	if iv.Start != 4 || iv.End != 7 {
+		t.Errorf("NewInterval(4,3) = %v", iv)
+	}
+	if !NewInterval(9, 0).Empty() {
+		t.Error("zero-width interval should be empty")
+	}
+}

@@ -1,0 +1,57 @@
+package datasets
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPointsCSVRoundTrip(t *testing.T) {
+	pts := []Point{{1, 2, 3}, {4.5, -6, 7.25}}
+	var buf bytes.Buffer
+	if err := WritePointsCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPointsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pts) {
+		t.Fatalf("round trip %d of %d points", len(back), len(pts))
+	}
+	for i := range pts {
+		if back[i] != pts[i] {
+			t.Fatalf("point %d: %v != %v", i, back[i], pts[i])
+		}
+	}
+}
+
+func TestReadPointsCSVHeaderAndComments(t *testing.T) {
+	in := `lon,lat,time
+# a comment
+1,2,3
+
+4,5,6
+`
+	pts, err := ReadPointsCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[1] != (Point{4, 5, 6}) {
+		t.Fatalf("points = %v", pts)
+	}
+}
+
+func TestReadPointsCSVErrors(t *testing.T) {
+	cases := []string{
+		"",             // empty
+		"1,2",          // wrong arity
+		"1,2,3\nx,y,z", // non-numeric mid-file
+		"a,b,c\nd,e,f", // a second header-like line
+	}
+	for i, in := range cases {
+		if _, err := ReadPointsCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package datasets generates the spatio-temporal workloads of the paper's
+// evaluation (Section VI-A). The authors used four private datasets
+// obtained from the STKDE paper's authors (Dengue, FluAnimal, Pollen,
+// PollenUS); this package substitutes seeded synthetic point processes
+// whose spatial/temporal structure matches each dataset's published
+// description, then voxelizes them into the weighted stencil instances the
+// coloring algorithms consume. See DESIGN.md for the substitution
+// rationale.
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is an event in (x, y, t) space. Coordinates are abstract units
+// (the voxelizer only needs relative positions and a bounding box).
+type Point struct {
+	X, Y, T float64
+}
+
+// Bounds is an axis-aligned bounding box in (x, y, t).
+type Bounds struct {
+	MinX, MaxX float64
+	MinY, MaxY float64
+	MinT, MaxT float64
+}
+
+// SpanX returns the x extent of the box.
+func (b Bounds) SpanX() float64 { return b.MaxX - b.MinX }
+
+// SpanY returns the y extent of the box.
+func (b Bounds) SpanY() float64 { return b.MaxY - b.MinY }
+
+// SpanT returns the t extent of the box.
+func (b Bounds) SpanT() float64 { return b.MaxT - b.MinT }
+
+// Valid reports whether every dimension has positive extent.
+func (b Bounds) Valid() bool {
+	return b.SpanX() > 0 && b.SpanY() > 0 && b.SpanT() > 0
+}
+
+// Contains reports whether p lies inside the box.
+func (b Bounds) Contains(p Point) bool {
+	return p.X >= b.MinX && p.X <= b.MaxX &&
+		p.Y >= b.MinY && p.Y <= b.MaxY &&
+		p.T >= b.MinT && p.T <= b.MaxT
+}
+
+// BoundsOf computes the bounding box of a point set.
+func BoundsOf(points []Point) (Bounds, error) {
+	if len(points) == 0 {
+		return Bounds{}, fmt.Errorf("datasets: empty point set")
+	}
+	b := Bounds{
+		MinX: math.Inf(1), MaxX: math.Inf(-1),
+		MinY: math.Inf(1), MaxY: math.Inf(-1),
+		MinT: math.Inf(1), MaxT: math.Inf(-1),
+	}
+	for _, p := range points {
+		b.MinX = math.Min(b.MinX, p.X)
+		b.MaxX = math.Max(b.MaxX, p.X)
+		b.MinY = math.Min(b.MinY, p.Y)
+		b.MaxY = math.Max(b.MaxY, p.Y)
+		b.MinT = math.Min(b.MinT, p.T)
+		b.MaxT = math.Max(b.MaxT, p.T)
+	}
+	return b, nil
+}
+
+// Clip returns the subset of points inside bounds, analogous to how
+// PollenUS restricts Pollen to the contiguous United States.
+func Clip(points []Point, b Bounds) []Point {
+	var out []Point
+	for _, p := range points {
+		if b.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// cluster is a spatial hotspot with a temporal burst, the building block
+// of the synthetic generators: real epidemic/social datasets concentrate
+// around cities and flare in time.
+type cluster struct {
+	cx, cy  float64 // spatial center
+	sigma   float64 // spatial std dev
+	t0, dur float64 // burst start and duration
+	weight  float64 // relative share of points
+}
+
+// sampleClusters draws n points from a weighted mixture of clusters plus
+// a uniform background fraction over box.
+func sampleClusters(rng *rand.Rand, n int, clusters []cluster, background float64, box Bounds) []Point {
+	var totalW float64
+	for _, c := range clusters {
+		totalW += c.weight
+	}
+	points := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < background || totalW == 0 {
+			points = append(points, Point{
+				X: box.MinX + rng.Float64()*box.SpanX(),
+				Y: box.MinY + rng.Float64()*box.SpanY(),
+				T: box.MinT + rng.Float64()*box.SpanT(),
+			})
+			continue
+		}
+		pick := rng.Float64() * totalW
+		var chosen cluster
+		for _, c := range clusters {
+			pick -= c.weight
+			if pick <= 0 {
+				chosen = c
+				break
+			}
+			chosen = c
+		}
+		p := Point{
+			X: chosen.cx + rng.NormFloat64()*chosen.sigma,
+			Y: chosen.cy + rng.NormFloat64()*chosen.sigma,
+			T: chosen.t0 + rng.Float64()*chosen.dur,
+		}
+		// Reflect strays back into the box so the declared bounds hold.
+		p.X = clamp(p.X, box.MinX, box.MaxX)
+		p.Y = clamp(p.Y, box.MinY, box.MaxY)
+		p.T = clamp(p.T, box.MinT, box.MaxT)
+		points = append(points, p)
+	}
+	return points
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Min(math.Max(v, lo), hi)
+}

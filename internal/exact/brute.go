@@ -1,0 +1,100 @@
+package exact
+
+import (
+	"fmt"
+
+	"stencilivc/internal/core"
+)
+
+// BruteForce computes the exact optimum by exhaustive DFS over explicit
+// start values — the slowest but most obviously correct solver, kept as
+// the reference that the CP solver and the order branch-and-bound are
+// cross-checked against in tests. It refuses instances whose search space
+// exceeds maxStates (a plain count of start combinations, capped before
+// any search starts), returning an error instead of running forever.
+func BruteForce(g core.Graph, maxStates int64) (Result, error) {
+	n := g.Len()
+	// Upper bound: greedy in index order; optimum lies in [0, ub].
+	seed := make([]int, n)
+	for i := range seed {
+		seed[i] = i
+	}
+	inc, err := core.GreedyColor(g, seed)
+	if err != nil {
+		panic("exact: identity permutation rejected: " + err.Error())
+	}
+	ub := inc.MaxColor(g)
+
+	if maxStates <= 0 {
+		maxStates = 50_000_000
+	}
+	states := int64(1)
+	for v := 0; v < n; v++ {
+		choices := ub - g.Weight(v) + 1
+		if g.Weight(v) == 0 {
+			choices = 1
+		}
+		if choices > 0 {
+			states *= choices
+		}
+		if states > maxStates {
+			return Result{}, fmt.Errorf("exact: brute-force space %d exceeds cap %d", states, maxStates)
+		}
+	}
+
+	b := &bruteSearch{g: g, best: ub, bestCol: inc, cur: core.NewColoring(n)}
+	b.dfs(0, 0)
+	return Result{
+		Coloring:   b.bestCol,
+		MaxColor:   b.best,
+		LowerBound: b.best,
+		Optimal:    true,
+	}, nil
+}
+
+type bruteSearch struct {
+	g       core.Graph
+	best    int64
+	bestCol core.Coloring
+	cur     core.Coloring
+	nbuf    []int
+}
+
+func (b *bruteSearch) dfs(v int, curMax int64) {
+	if curMax >= b.best {
+		return
+	}
+	if v == b.g.Len() {
+		b.best = curMax
+		b.bestCol = b.cur.Clone()
+		return
+	}
+	w := b.g.Weight(v)
+	if w == 0 {
+		b.cur.Start[v] = 0
+		b.dfs(v+1, curMax)
+		b.cur.Start[v] = core.Unset
+		return
+	}
+	for s := int64(0); s+w < b.best; s++ {
+		if !b.feasible(v, s) {
+			continue
+		}
+		b.cur.Start[v] = s
+		b.dfs(v+1, max(curMax, s+w))
+		b.cur.Start[v] = core.Unset
+	}
+}
+
+// feasible reports whether placing v at start s conflicts with any
+// already-placed neighbor.
+func (b *bruteSearch) feasible(v int, s int64) bool {
+	iv := core.NewInterval(s, b.g.Weight(v))
+	b.nbuf = b.g.Neighbors(v, b.nbuf[:0])
+	for _, u := range b.nbuf {
+		if u < v && iv.Overlaps(b.cur.Interval(b.g, u)) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,330 @@
+// Package exact contains exact solvers for interval vertex coloring.
+// They substitute for the paper's Gurobi MILP runs (Section VI-D): a
+// constraint-propagation decision procedure (Decide), an optimizer built
+// on it (Optimize), a permutation branch-and-bound (SolveByOrder), and an
+// exhaustive reference solver (BruteForce). All are budgeted: when a
+// budget is exhausted they report Unknown/non-optimal instead of guessing.
+package exact
+
+import (
+	"fmt"
+	"math/bits"
+
+	"stencilivc/internal/core"
+)
+
+// Verdict is the outcome of a decision query.
+type Verdict int
+
+const (
+	// Unknown means the search budget was exhausted before an answer.
+	Unknown Verdict = iota
+	// Feasible means a valid coloring with maxcolor <= K exists.
+	Feasible
+	// Infeasible means no valid coloring with maxcolor <= K exists.
+	Infeasible
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return "unknown"
+	}
+}
+
+// DecideOptions tunes the decision procedure.
+type DecideOptions struct {
+	// NodeBudget caps the number of search nodes; <= 0 selects a default.
+	NodeBudget int
+	// MaxDomainCells caps sum over vertices of domain sizes, protecting
+	// against instances whose weights make integer domains huge; <= 0
+	// selects a default.
+	MaxDomainCells int
+}
+
+const (
+	defaultNodeBudget     = 2_000_000
+	defaultMaxDomainCells = 50_000_000
+)
+
+// Decide reports whether g can be interval-colored with maxcolor <= K.
+// On Feasible the returned coloring is a valid witness.
+//
+// The procedure is a small CP solver: each positive-weight vertex v has an
+// integer domain {0..K-w(v)} of candidate starts held as a bitset;
+// singleton domains propagate by deleting overlapping starts from neighbor
+// domains; search branches on a minimum-domain vertex. Zero-weight
+// vertices are fixed to start 0 up front since empty intervals conflict
+// with nothing.
+func Decide(g core.Graph, K int64, opts DecideOptions) (Verdict, core.Coloring) {
+	if opts.NodeBudget <= 0 {
+		opts.NodeBudget = defaultNodeBudget
+	}
+	budget := opts.NodeBudget
+	return decideBudgeted(g, K, &budget, opts.MaxDomainCells)
+}
+
+// decideBudgeted is Decide drawing nodes from a shared budget, so that a
+// sequence of decision queries (as in Optimize) has a single overall cap.
+func decideBudgeted(g core.Graph, K int64, budget *int, maxDomainCells int) (Verdict, core.Coloring) {
+	if K < 0 {
+		return Infeasible, core.Coloring{}
+	}
+	if maxDomainCells <= 0 {
+		maxDomainCells = defaultMaxDomainCells
+	}
+	n := g.Len()
+	var cells int64
+	for v := 0; v < n; v++ {
+		w := g.Weight(v)
+		if w > K {
+			return Infeasible, core.Coloring{}
+		}
+		cells += K - w + 1
+		if cells > int64(maxDomainCells) {
+			return Unknown, core.Coloring{}
+		}
+	}
+	st := newDecideState(g, K)
+	// Initial propagation: domains that start singleton (w == K, or w == 0
+	// which is pinned to 0) constrain their neighbors immediately.
+	for v := 0; v < n; v++ {
+		if st.count[v] == 1 {
+			st.pending = append(st.pending, v)
+		}
+	}
+	if !st.propagate() {
+		return Infeasible, core.Coloring{}
+	}
+	switch st.search(budget) {
+	case searchFeasible:
+		c := st.extract()
+		return Feasible, c
+	case searchInfeasible:
+		return Infeasible, core.Coloring{}
+	default:
+		return Unknown, core.Coloring{}
+	}
+}
+
+type searchOutcome int
+
+const (
+	searchInfeasible searchOutcome = iota
+	searchFeasible
+	searchBudget
+)
+
+// decideState holds bitset domains over candidate starts. dom[v] has
+// (K - w(v) + 1) meaningful bits; bit s set means start s is still
+// feasible for v. Backtracking is trail-based: every bit removal and
+// every done-flag set is journaled, and a branch undoes its suffix of the
+// journal instead of cloning the whole state — the difference between
+// O(changes) and O(domains) per search node.
+type decideState struct {
+	g       core.Graph
+	K       int64
+	dom     [][]uint64
+	count   []int // popcount of dom[v]
+	size    []int // domain universe size K-w+1
+	pending []int // vertices whose singleton assignment awaits propagation
+	done    []bool
+
+	trail     []trailEntry // journal of removed (vertex, start) bits
+	doneTrail []int32      // journal of vertices whose done flag was set
+}
+
+// trailEntry is one word's worth of removed domain bits.
+type trailEntry struct {
+	v    int32
+	word int32
+	mask uint64 // the bits that were removed from dom[v][word]
+}
+
+func newDecideState(g core.Graph, K int64) *decideState {
+	n := g.Len()
+	st := &decideState{
+		g:     g,
+		K:     K,
+		dom:   make([][]uint64, n),
+		count: make([]int, n),
+		size:  make([]int, n),
+		done:  make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		w := g.Weight(v)
+		sz := int(K - w + 1)
+		if w == 0 {
+			sz = 1 // pinned to start 0; conflicts with nothing
+		}
+		st.size[v] = sz
+		words := (sz + 63) / 64
+		st.dom[v] = make([]uint64, words)
+		for i := 0; i < words; i++ {
+			st.dom[v][i] = ^uint64(0)
+		}
+		if rem := sz % 64; rem != 0 {
+			st.dom[v][words-1] = (uint64(1) << rem) - 1
+		}
+		st.count[v] = sz
+	}
+	return st
+}
+
+// undoTo rolls the state back to a journal snapshot.
+func (st *decideState) undoTo(trailMark, doneMark int) {
+	for i := len(st.trail) - 1; i >= trailMark; i-- {
+		e := st.trail[i]
+		st.dom[e.v][e.word] |= e.mask
+		st.count[e.v] += bits.OnesCount64(e.mask)
+	}
+	st.trail = st.trail[:trailMark]
+	for i := len(st.doneTrail) - 1; i >= doneMark; i-- {
+		st.done[st.doneTrail[i]] = false
+	}
+	st.doneTrail = st.doneTrail[:doneMark]
+}
+
+// removeRange deletes starts in [lo, hi] from v's domain one 64-bit word
+// at a time, journaling the removed masks. Interval-coloring propagation
+// removes ranges as wide as the vertex weights, so word-granular removal
+// (not bit-granular) is what keeps heavy-weight instances tractable.
+// Returns false if the domain became empty.
+func (st *decideState) removeRange(v int, lo, hi int64) bool {
+	lo = max(lo, 0)
+	hi = min(hi, int64(st.size[v]-1))
+	if lo > hi {
+		return st.count[v] > 0
+	}
+	loW, hiW := lo/64, hi/64
+	for w := loW; w <= hiW; w++ {
+		mask := ^uint64(0)
+		if w == loW {
+			mask &= ^uint64(0) << uint(lo%64)
+		}
+		if w == hiW {
+			// Shift by 64 yields 0 in Go, so rem == 63 gives ^uint64(0).
+			mask &= uint64(1)<<uint(hi%64+1) - 1
+		}
+		removed := st.dom[v][w] & mask
+		if removed != 0 {
+			st.dom[v][w] &^= removed
+			st.count[v] -= bits.OnesCount64(removed)
+			st.trail = append(st.trail, trailEntry{v: int32(v), word: int32(w), mask: removed})
+		}
+	}
+	return st.count[v] > 0
+}
+
+// singletonValue returns the only remaining start of v.
+func (st *decideState) singletonValue(v int) int64 {
+	for w, word := range st.dom[v] {
+		if word != 0 {
+			return int64(w*64 + bits.TrailingZeros64(word))
+		}
+	}
+	panic(fmt.Sprintf("exact: vertex %d has empty domain in singletonValue", v))
+}
+
+// propagate drains the pending queue: each newly-singleton vertex removes
+// conflicting starts from its neighbors, possibly making them singleton in
+// turn. Returns false on a wiped-out domain.
+func (st *decideState) propagate() bool {
+	var buf []int
+	for len(st.pending) > 0 {
+		v := st.pending[len(st.pending)-1]
+		st.pending = st.pending[:len(st.pending)-1]
+		if st.done[v] {
+			continue
+		}
+		st.done[v] = true
+		st.doneTrail = append(st.doneTrail, int32(v))
+		wv := st.g.Weight(v)
+		if wv == 0 {
+			continue // empty interval constrains nothing
+		}
+		s := st.singletonValue(v)
+		buf = st.g.Neighbors(v, buf[:0])
+		for _, u := range buf {
+			if st.done[u] {
+				continue
+			}
+			wu := st.g.Weight(u)
+			if wu == 0 {
+				continue
+			}
+			// u's start s' conflicts iff [s',s'+wu) overlaps [s,s+wv):
+			// s' > s - wu  and  s' < s + wv.
+			before := st.count[u]
+			if !st.removeRange(u, s-wu+1, s+wv-1) {
+				return false
+			}
+			if st.count[u] == 1 && before > 1 {
+				st.pending = append(st.pending, u)
+			}
+		}
+	}
+	return true
+}
+
+// search runs DFS with minimum-domain branching.
+func (st *decideState) search(budget *int) searchOutcome {
+	if *budget <= 0 {
+		return searchBudget
+	}
+	*budget--
+	// Pick the unassigned vertex with the smallest domain.
+	pick, best := -1, 1<<62
+	for v := range st.count {
+		if !st.done[v] && st.count[v] < best {
+			pick, best = v, st.count[v]
+		}
+	}
+	if pick == -1 {
+		return searchFeasible // all singleton and propagated
+	}
+	sawBudget := false
+	for s := int64(0); s < int64(st.size[pick]); s++ {
+		word, bit := s/64, uint(s%64)
+		if st.dom[pick][word]&(1<<bit) == 0 {
+			continue
+		}
+		trailMark, doneMark := len(st.trail), len(st.doneTrail)
+		// Restrict pick's domain to {s} (journaled), then propagate.
+		ok := st.removeRange(pick, 0, s-1) && st.removeRange(pick, s+1, int64(st.size[pick]-1))
+		if ok {
+			st.pending = append(st.pending[:0], pick)
+			ok = st.propagate()
+		}
+		if ok {
+			switch st.search(budget) {
+			case searchFeasible:
+				return searchFeasible // keep state intact for extract()
+			case searchBudget:
+				sawBudget = true
+			}
+		}
+		st.pending = st.pending[:0]
+		st.undoTo(trailMark, doneMark)
+		if *budget <= 0 {
+			return searchBudget
+		}
+	}
+	if sawBudget {
+		return searchBudget
+	}
+	return searchInfeasible
+}
+
+// extract reads the witness coloring out of an all-singleton state.
+func (st *decideState) extract() core.Coloring {
+	c := core.NewColoring(st.g.Len())
+	for v := 0; v < st.g.Len(); v++ {
+		c.Start[v] = st.singletonValue(v)
+	}
+	return c
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"stencilivc/internal/perfprof"
+)
+
+// Table1 reproduces the in-text statistics of Section VI-B (2D results).
+type Table1 struct {
+	Summaries []perfprof.Summary
+	// BDPOverLB is the mean ratio of BDP's maxcolor to the max-K4 lower
+	// bound (paper: 1.03).
+	BDPOverLB float64
+	// BDPSpeedVsSGK is how much faster BDP is than SGK in percent
+	// (paper: 182%).
+	BDPSpeedVsSGK float64
+	// BDPColorsVsSGK is how many percent fewer colors BDP needs than SGK
+	// (paper: 1.69%).
+	BDPColorsVsSGK float64
+	// OptimalRateBDP / OptimalRateSGK are the fractions of instances each
+	// algorithm provably solves optimally, i.e. matches the lower bound
+	// (paper: 58.7% and 63.3%).
+	OptimalRateBDP, OptimalRateSGK float64
+	// PostGain is the mean percentage improvement of BDP over BD
+	// (paper: 2.49%).
+	PostGain float64
+}
+
+// MakeTable1 computes Table1 from a 2D suite run.
+func MakeTable1(res *RunResult) (Table1, error) {
+	sums, err := perfprof.Summarize(res.Records)
+	if err != nil {
+		return Table1{}, err
+	}
+	t := Table1{Summaries: sums}
+	byAlg := indexSummaries(sums)
+
+	perInstance := indexRecords(res.Records)
+	var ratioSum float64
+	ratioN := 0
+	var postSum float64
+	postN := 0
+	bdpOpt, sgkOpt, total := 0, 0, 0
+	for inst, row := range perInstance {
+		lb := res.LowerBound[inst]
+		total++
+		bdp := row["BDP"].Value
+		bd := row["BD"].Value
+		sgk := row["SGK"].Value
+		if lb > 0 {
+			ratioSum += float64(bdp) / float64(lb)
+			ratioN++
+		}
+		if bd > 0 {
+			postSum += (1 - float64(bdp)/float64(bd)) * 100
+			postN++
+		}
+		if bdp == lb {
+			bdpOpt++
+		}
+		if sgk == lb {
+			sgkOpt++
+		}
+	}
+	if ratioN > 0 {
+		t.BDPOverLB = ratioSum / float64(ratioN)
+	}
+	if postN > 0 {
+		t.PostGain = postSum / float64(postN)
+	}
+	if total > 0 {
+		t.OptimalRateBDP = float64(bdpOpt) / float64(total)
+		t.OptimalRateSGK = float64(sgkOpt) / float64(total)
+	}
+	t.BDPSpeedVsSGK = perfprof.RelativeSpeed(byAlg["BDP"], byAlg["SGK"])
+	t.BDPColorsVsSGK = perfprof.RelativeQuality(byAlg["BDP"], byAlg["SGK"])
+	return t, nil
+}
+
+// Format renders the table with the paper's claimed values alongside.
+func (t Table1) Format() string {
+	var b strings.Builder
+	b.WriteString("Table 1 — 2D in-text statistics (Section VI-B)\n")
+	b.WriteString(perfprof.FormatSummaries(t.Summaries))
+	fmt.Fprintf(&b, "BDP / max-K4 lower bound:       %.4f   (paper: 1.03)\n", t.BDPOverLB)
+	fmt.Fprintf(&b, "BDP speed vs SGK:               %+.0f%%   (paper: +182%%)\n", t.BDPSpeedVsSGK)
+	fmt.Fprintf(&b, "BDP colors vs SGK:              %+.2f%%  (paper: +1.69%%)\n", t.BDPColorsVsSGK)
+	fmt.Fprintf(&b, "provably optimal (LB match) BDP: %.1f%%  (paper: 58.7%%)\n", t.OptimalRateBDP*100)
+	fmt.Fprintf(&b, "provably optimal (LB match) SGK: %.1f%%  (paper: 63.3%%)\n", t.OptimalRateSGK*100)
+	fmt.Fprintf(&b, "BD -> BDP improvement:          %.2f%%  (paper: 2.49%%)\n", t.PostGain)
+	return b.String()
+}
+
+// Table2 reproduces the in-text statistics of Section VI-C (3D results).
+type Table2 struct {
+	Summaries []perfprof.Summary
+	// SGKColorsVsGLF: percent fewer colors for SGK vs GLF (paper: 0.57%).
+	SGKColorsVsGLF float64
+	// GLFSpeedVsSGK / GLFSpeedVsBDP / GLFSpeedVsGKF (paper: 142/128/120%).
+	GLFSpeedVsSGK, GLFSpeedVsBDP, GLFSpeedVsGKF float64
+	// OptimalRateSGK / OptimalRateGLF: LB-match rates; the paper reports
+	// SGK finding optima on 11.8% more instances than GLF.
+	OptimalRateSGK, OptimalRateGLF float64
+	// BDPStrictlyBetterThanSGK: fraction of instances where BDP's
+	// maxcolor strictly beats SGK's (paper: 18.1%).
+	BDPStrictlyBetterThanSGK float64
+}
+
+// MakeTable2 computes Table2 from a 3D suite run.
+func MakeTable2(res *RunResult) (Table2, error) {
+	sums, err := perfprof.Summarize(res.Records)
+	if err != nil {
+		return Table2{}, err
+	}
+	t := Table2{Summaries: sums}
+	byAlg := indexSummaries(sums)
+	t.SGKColorsVsGLF = perfprof.RelativeQuality(byAlg["SGK"], byAlg["GLF"])
+	t.GLFSpeedVsSGK = perfprof.RelativeSpeed(byAlg["GLF"], byAlg["SGK"])
+	t.GLFSpeedVsBDP = perfprof.RelativeSpeed(byAlg["GLF"], byAlg["BDP"])
+	t.GLFSpeedVsGKF = perfprof.RelativeSpeed(byAlg["GLF"], byAlg["GKF"])
+
+	perInstance := indexRecords(res.Records)
+	sgkOpt, glfOpt, bdpWins, total := 0, 0, 0, 0
+	for inst, row := range perInstance {
+		lb := res.LowerBound[inst]
+		total++
+		if row["SGK"].Value == lb {
+			sgkOpt++
+		}
+		if row["GLF"].Value == lb {
+			glfOpt++
+		}
+		if row["BDP"].Value < row["SGK"].Value {
+			bdpWins++
+		}
+	}
+	if total > 0 {
+		t.OptimalRateSGK = float64(sgkOpt) / float64(total)
+		t.OptimalRateGLF = float64(glfOpt) / float64(total)
+		t.BDPStrictlyBetterThanSGK = float64(bdpWins) / float64(total)
+	}
+	return t, nil
+}
+
+// Format renders the table with the paper's claimed values alongside.
+func (t Table2) Format() string {
+	var b strings.Builder
+	b.WriteString("Table 2 — 3D in-text statistics (Section VI-C)\n")
+	b.WriteString(perfprof.FormatSummaries(t.Summaries))
+	fmt.Fprintf(&b, "SGK colors vs GLF:            %+.2f%%  (paper: +0.57%%)\n", t.SGKColorsVsGLF)
+	fmt.Fprintf(&b, "GLF speed vs SGK:             %+.0f%%   (paper: +142%%)\n", t.GLFSpeedVsSGK)
+	fmt.Fprintf(&b, "GLF speed vs BDP:             %+.0f%%   (paper: +128%%)\n", t.GLFSpeedVsBDP)
+	fmt.Fprintf(&b, "GLF speed vs GKF:             %+.0f%%   (paper: +120%%)\n", t.GLFSpeedVsGKF)
+	fmt.Fprintf(&b, "LB-match rate SGK:            %.1f%%\n", t.OptimalRateSGK*100)
+	fmt.Fprintf(&b, "LB-match rate GLF:            %.1f%%  (paper: SGK finds 11.8%% more optima)\n", t.OptimalRateGLF*100)
+	fmt.Fprintf(&b, "BDP strictly beats SGK on:    %.1f%%  (paper: 18.1%%)\n", t.BDPStrictlyBetterThanSGK*100)
+	return b.String()
+}
+
+// Table3 reproduces Section VI-D: how often the max-clique lower bound
+// differs from the certified optimum.
+type Table3 struct {
+	Certified, ByLBMatch, ByExact, Unsolved, LBGapCount int
+	// GapRate = LBGapCount / Certified (paper: 4.33% 2D, 2.65% 3D).
+	GapRate float64
+}
+
+// MakeTable3 summarizes an optimality report.
+func MakeTable3(rep *OptimalityReport) Table3 {
+	t := Table3{
+		Certified:  len(rep.Optimum),
+		ByLBMatch:  rep.ByLBMatch,
+		ByExact:    rep.ByExact,
+		Unsolved:   rep.Unsolved,
+		LBGapCount: rep.LBGapCount,
+	}
+	if t.Certified > 0 {
+		t.GapRate = float64(t.LBGapCount) / float64(t.Certified)
+	}
+	return t
+}
+
+// Format renders the table.
+func (t Table3) Format(dim string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3 — optimality certification, %s (Section VI-D)\n", dim)
+	fmt.Fprintf(&b, "certified optimal: %d (%d by LB match, %d by exact solve), unsolved: %d\n",
+		t.Certified, t.ByLBMatch, t.ByExact, t.Unsolved)
+	fmt.Fprintf(&b, "max-clique LB != optimum on %.2f%% of certified instances (paper: 4.33%% 2D / 2.65%% 3D)\n",
+		t.GapRate*100)
+	return b.String()
+}
+
+func indexSummaries(sums []perfprof.Summary) map[string]perfprof.Summary {
+	m := make(map[string]perfprof.Summary, len(sums))
+	for _, s := range sums {
+		m[s.Algorithm] = s
+	}
+	return m
+}
+
+func indexRecords(records []perfprof.Record) map[string]map[string]perfprof.Record {
+	m := map[string]map[string]perfprof.Record{}
+	for _, r := range records {
+		if m[r.Instance] == nil {
+			m[r.Instance] = map[string]perfprof.Record{}
+		}
+		m[r.Instance][r.Algorithm] = r
+	}
+	return m
+}

@@ -1,0 +1,56 @@
+package grid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the instance parser: arbitrary input must never panic,
+// and anything it accepts must round-trip through the writer.
+func FuzzRead(f *testing.F) {
+	f.Add("ivc2d 2 2\n1 2 3 4\n")
+	f.Add("ivc3d 2 2 2\n1 2 3 4 5 6 7 8\n")
+	f.Add("ivc2d 1 1\n0\n")
+	f.Add("# comment\nivc2d 2 1\n5 5\n")
+	f.Add("ivc2d 1000000 1000000\n")
+	f.Add("bogus\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g2, g3, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		switch {
+		case g2 != nil:
+			if err := Write2D(&buf, g2); err != nil {
+				t.Fatalf("rewrite failed: %v", err)
+			}
+			b2, _, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("reparse failed: %v", err)
+			}
+			if b2.X != g2.X || b2.Y != g2.Y {
+				t.Fatalf("round trip changed dims")
+			}
+			for v := range g2.W {
+				if b2.W[v] != g2.W[v] {
+					t.Fatalf("round trip changed weight %d", v)
+				}
+			}
+		case g3 != nil:
+			if err := Write3D(&buf, g3); err != nil {
+				t.Fatalf("rewrite failed: %v", err)
+			}
+			_, b3, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("reparse failed: %v", err)
+			}
+			if b3.X != g3.X || b3.Y != g3.Y || b3.Z != g3.Z {
+				t.Fatalf("round trip changed dims")
+			}
+		default:
+			t.Fatal("Read returned neither grid without error")
+		}
+	})
+}

@@ -1,0 +1,166 @@
+// Package grid provides the stencil graphs studied by the paper: the 9-pt
+// 2D stencil (Grid2D) and the 27-pt 3D stencil (Grid3D), along with their
+// 5-pt/7-pt relaxations, Z-order (Morton) traversals, and the K4/K8 clique
+// blocks used by the block-based heuristics and lower bounds.
+//
+// Both grid types implement core.Graph with implicit adjacency: neighbor
+// lists are synthesized from coordinates, so a grid stores only its weight
+// array.
+package grid
+
+import (
+	"fmt"
+
+	"stencilivc/internal/core"
+)
+
+// Grid2D is an X×Y grid whose conflict graph is the 9-pt 2D stencil:
+// vertices (i,j) and (i',j') are adjacent iff |i−i'| ≤ 1 and |j−j'| ≤ 1
+// (and they differ). Vertex ids are row-major: id = j*X + i.
+type Grid2D struct {
+	X, Y int
+	// W holds the vertex weights in row-major order; len(W) == X*Y.
+	W []int64
+}
+
+var _ core.Graph = (*Grid2D)(nil)
+
+// NewGrid2D allocates a zero-weight X×Y grid. Dimensions must be >= 1.
+func NewGrid2D(x, y int) (*Grid2D, error) {
+	if x < 1 || y < 1 {
+		return nil, fmt.Errorf("grid: invalid 2D dimensions %dx%d", x, y)
+	}
+	if x > 1<<20 || y > 1<<20 || x*y > 1<<28 {
+		return nil, fmt.Errorf("grid: 2D dimensions %dx%d too large", x, y)
+	}
+	return &Grid2D{X: x, Y: y, W: make([]int64, x*y)}, nil
+}
+
+// MustGrid2D is NewGrid2D that panics on error.
+func MustGrid2D(x, y int) *Grid2D {
+	g, err := NewGrid2D(x, y)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromWeights2D builds a grid from a row-major weight slice
+// (weights[j*x+i] is the weight of cell (i,j)). The slice is copied.
+func FromWeights2D(x, y int, weights []int64) (*Grid2D, error) {
+	g, err := NewGrid2D(x, y)
+	if err != nil {
+		return nil, err
+	}
+	if len(weights) != x*y {
+		return nil, fmt.Errorf("grid: want %d weights, got %d", x*y, len(weights))
+	}
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("grid: negative weight %d", w)
+		}
+	}
+	copy(g.W, weights)
+	return g, nil
+}
+
+// Len returns the number of vertices X*Y.
+func (g *Grid2D) Len() int { return g.X * g.Y }
+
+// Weight returns the weight of vertex v.
+func (g *Grid2D) Weight(v int) int64 { return g.W[v] }
+
+// ID returns the vertex id of cell (i,j).
+func (g *Grid2D) ID(i, j int) int { return j*g.X + i }
+
+// Coords returns the (i,j) cell of vertex v.
+func (g *Grid2D) Coords(v int) (i, j int) { return v % g.X, v / g.X }
+
+// At returns the weight of cell (i,j).
+func (g *Grid2D) At(i, j int) int64 { return g.W[g.ID(i, j)] }
+
+// Set assigns the weight of cell (i,j).
+func (g *Grid2D) Set(i, j int, w int64) {
+	if w < 0 {
+		panic(fmt.Sprintf("grid: negative weight %d", w))
+	}
+	g.W[g.ID(i, j)] = w
+}
+
+// Neighbors appends the 9-pt stencil neighbors of v (up to 8) to buf.
+func (g *Grid2D) Neighbors(v int, buf []int) []int {
+	i, j := g.Coords(v)
+	for dj := -1; dj <= 1; dj++ {
+		nj := j + dj
+		if nj < 0 || nj >= g.Y {
+			continue
+		}
+		for di := -1; di <= 1; di++ {
+			ni := i + di
+			if ni < 0 || ni >= g.X || (di == 0 && dj == 0) {
+				continue
+			}
+			buf = append(buf, nj*g.X+ni)
+		}
+	}
+	return buf
+}
+
+// FivePt is the 5-pt relaxation of a Grid2D: only the 4 axis neighbors
+// conflict. It is bipartite (checkerboard), which is what makes the 5-pt
+// relaxation polynomial (Section III-B). It shares the weight storage of
+// the underlying grid.
+type FivePt struct {
+	G *Grid2D
+}
+
+var _ core.Graph = FivePt{}
+
+// Len returns the number of vertices.
+func (f FivePt) Len() int { return f.G.Len() }
+
+// Weight returns the weight of vertex v.
+func (f FivePt) Weight(v int) int64 { return f.G.W[v] }
+
+// Neighbors appends the 5-pt (axis-only) neighbors of v to buf.
+func (f FivePt) Neighbors(v int, buf []int) []int {
+	g := f.G
+	i, j := g.Coords(v)
+	if i > 0 {
+		buf = append(buf, v-1)
+	}
+	if i < g.X-1 {
+		buf = append(buf, v+1)
+	}
+	if j > 0 {
+		buf = append(buf, v-g.X)
+	}
+	if j < g.Y-1 {
+		buf = append(buf, v+g.X)
+	}
+	return buf
+}
+
+// Parity returns the checkerboard side of vertex v ((i+j) mod 2), the
+// natural bipartition of the 5-pt relaxation.
+func (f FivePt) Parity(v int) int {
+	i, j := f.G.Coords(v)
+	return (i + j) % 2
+}
+
+// Row returns the weights of row j as a chain, in increasing i.
+func (g *Grid2D) Row(j int) []int64 {
+	return g.W[j*g.X : (j+1)*g.X]
+}
+
+// Clone returns a deep copy of the grid.
+func (g *Grid2D) Clone() *Grid2D {
+	c := MustGrid2D(g.X, g.Y)
+	copy(c.W, g.W)
+	return c
+}
+
+// String summarizes the grid's shape and total weight.
+func (g *Grid2D) String() string {
+	return fmt.Sprintf("Grid2D(%dx%d, total=%d)", g.X, g.Y, core.TotalWeight(g))
+}

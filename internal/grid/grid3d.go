@@ -1,0 +1,178 @@
+package grid
+
+import (
+	"fmt"
+
+	"stencilivc/internal/core"
+)
+
+// Grid3D is an X×Y×Z grid whose conflict graph is the 27-pt 3D stencil:
+// vertices (i,j,k) and (i',j',k') are adjacent iff each coordinate differs
+// by at most 1 (and they differ). Vertex ids are x-fastest:
+// id = (k*Y + j)*X + i.
+type Grid3D struct {
+	X, Y, Z int
+	// W holds the vertex weights, x-fastest; len(W) == X*Y*Z.
+	W []int64
+}
+
+var _ core.Graph = (*Grid3D)(nil)
+
+// NewGrid3D allocates a zero-weight X×Y×Z grid. Dimensions must be >= 1.
+func NewGrid3D(x, y, z int) (*Grid3D, error) {
+	if x < 1 || y < 1 || z < 1 {
+		return nil, fmt.Errorf("grid: invalid 3D dimensions %dx%dx%d", x, y, z)
+	}
+	if x > 1<<16 || y > 1<<16 || z > 1<<16 || x*y*z > 1<<27 {
+		return nil, fmt.Errorf("grid: 3D dimensions %dx%dx%d too large", x, y, z)
+	}
+	return &Grid3D{X: x, Y: y, Z: z, W: make([]int64, x*y*z)}, nil
+}
+
+// MustGrid3D is NewGrid3D that panics on error.
+func MustGrid3D(x, y, z int) *Grid3D {
+	g, err := NewGrid3D(x, y, z)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromWeights3D builds a grid from an x-fastest weight slice. The slice is
+// copied.
+func FromWeights3D(x, y, z int, weights []int64) (*Grid3D, error) {
+	g, err := NewGrid3D(x, y, z)
+	if err != nil {
+		return nil, err
+	}
+	if len(weights) != x*y*z {
+		return nil, fmt.Errorf("grid: want %d weights, got %d", x*y*z, len(weights))
+	}
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("grid: negative weight %d", w)
+		}
+	}
+	copy(g.W, weights)
+	return g, nil
+}
+
+// Len returns the number of vertices X*Y*Z.
+func (g *Grid3D) Len() int { return g.X * g.Y * g.Z }
+
+// Weight returns the weight of vertex v.
+func (g *Grid3D) Weight(v int) int64 { return g.W[v] }
+
+// ID returns the vertex id of cell (i,j,k).
+func (g *Grid3D) ID(i, j, k int) int { return (k*g.Y+j)*g.X + i }
+
+// Coords returns the (i,j,k) cell of vertex v.
+func (g *Grid3D) Coords(v int) (i, j, k int) {
+	i = v % g.X
+	v /= g.X
+	j = v % g.Y
+	k = v / g.Y
+	return
+}
+
+// At returns the weight of cell (i,j,k).
+func (g *Grid3D) At(i, j, k int) int64 { return g.W[g.ID(i, j, k)] }
+
+// Set assigns the weight of cell (i,j,k).
+func (g *Grid3D) Set(i, j, k int, w int64) {
+	if w < 0 {
+		panic(fmt.Sprintf("grid: negative weight %d", w))
+	}
+	g.W[g.ID(i, j, k)] = w
+}
+
+// Neighbors appends the 27-pt stencil neighbors of v (up to 26) to buf.
+func (g *Grid3D) Neighbors(v int, buf []int) []int {
+	i, j, k := g.Coords(v)
+	for dk := -1; dk <= 1; dk++ {
+		nk := k + dk
+		if nk < 0 || nk >= g.Z {
+			continue
+		}
+		for dj := -1; dj <= 1; dj++ {
+			nj := j + dj
+			if nj < 0 || nj >= g.Y {
+				continue
+			}
+			for di := -1; di <= 1; di++ {
+				ni := i + di
+				if ni < 0 || ni >= g.X || (di == 0 && dj == 0 && dk == 0) {
+					continue
+				}
+				buf = append(buf, (nk*g.Y+nj)*g.X+ni)
+			}
+		}
+	}
+	return buf
+}
+
+// SevenPt is the 7-pt relaxation of a Grid3D: only the 6 axis neighbors
+// conflict. Like the 5-pt case it is bipartite on (i+j+k) parity, which
+// makes the 7-pt relaxation polynomial (Section III-B).
+type SevenPt struct {
+	G *Grid3D
+}
+
+var _ core.Graph = SevenPt{}
+
+// Len returns the number of vertices.
+func (s SevenPt) Len() int { return s.G.Len() }
+
+// Weight returns the weight of vertex v.
+func (s SevenPt) Weight(v int) int64 { return s.G.W[v] }
+
+// Neighbors appends the 7-pt (axis-only) neighbors of v to buf.
+func (s SevenPt) Neighbors(v int, buf []int) []int {
+	g := s.G
+	i, j, k := g.Coords(v)
+	if i > 0 {
+		buf = append(buf, v-1)
+	}
+	if i < g.X-1 {
+		buf = append(buf, v+1)
+	}
+	if j > 0 {
+		buf = append(buf, v-g.X)
+	}
+	if j < g.Y-1 {
+		buf = append(buf, v+g.X)
+	}
+	if k > 0 {
+		buf = append(buf, v-g.X*g.Y)
+	}
+	if k < g.Z-1 {
+		buf = append(buf, v+g.X*g.Y)
+	}
+	return buf
+}
+
+// Parity returns (i+j+k) mod 2, the natural bipartition of the 7-pt
+// relaxation.
+func (s SevenPt) Parity(v int) int {
+	i, j, k := s.G.Coords(v)
+	return (i + j + k) % 2
+}
+
+// Layer returns layer k of the 3D grid as a 2D grid sharing the same
+// weight storage (mutations are visible in both).
+func (g *Grid3D) Layer(k int) *Grid2D {
+	base := k * g.X * g.Y
+	return &Grid2D{X: g.X, Y: g.Y, W: g.W[base : base+g.X*g.Y]}
+}
+
+// Clone returns a deep copy of the grid.
+func (g *Grid3D) Clone() *Grid3D {
+	c := MustGrid3D(g.X, g.Y, g.Z)
+	copy(c.W, g.W)
+	return c
+}
+
+// String summarizes the grid's shape and total weight.
+func (g *Grid3D) String() string {
+	return fmt.Sprintf("Grid3D(%dx%dx%d, total=%d)", g.X, g.Y, g.Z, core.TotalWeight(g))
+}

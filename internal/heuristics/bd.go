@@ -1,0 +1,128 @@
+package heuristics
+
+import (
+	"sort"
+
+	"stencilivc/internal/core"
+	"stencilivc/internal/grid"
+	"stencilivc/internal/special"
+)
+
+// BipartiteDecomposition2D is BD (Section V-B), a 2-approximation for
+// 2DS-IVC. Each row — a chain, hence bipartite — is colored optimally with
+// the chain algorithm; RC, the maximum color used by any row, is itself a
+// lower bound on the optimum (a row is a subgraph). Even rows keep their
+// colors in [0, RC) and odd rows are lifted by RC into [RC, 2RC), so rows
+// never conflict and maxcolor <= 2·RC <= 2·maxcolor*.
+//
+// The second return value is RC, the proven lower bound.
+func BipartiteDecomposition2D(g *grid.Grid2D) (core.Coloring, int64) {
+	c := core.NewColoring(g.Len())
+	var rc int64
+	for j := 0; j < g.Y; j++ {
+		starts, rowMC := special.ColorChain(g.Row(j))
+		rc = max(rc, rowMC)
+		for i := 0; i < g.X; i++ {
+			c.Start[g.ID(i, j)] = starts[i]
+		}
+	}
+	// Each row's colors live in [0, its own maxcolor) ⊆ [0, RC); lifting
+	// odd rows by RC separates every cross-row conflict (rows two apart
+	// are non-adjacent in the 9-pt stencil).
+	for j := 1; j < g.Y; j += 2 {
+		for i := 0; i < g.X; i++ {
+			c.Start[g.ID(i, j)] += rc
+		}
+	}
+	return c, rc
+}
+
+// BipartiteDecomposition3D is BD for 3DS-IVC, a 4-approximation
+// (Section V-B): each z-layer is colored with the 2D decomposition (each
+// within a factor 2 of its layer optimum, which bounds the global
+// optimum), LC is the maximum maxcolor over the layers, and odd layers are
+// lifted by LC. The second return value is the best per-layer RC, a valid
+// lower bound on the 3D optimum.
+func BipartiteDecomposition3D(g *grid.Grid3D) (core.Coloring, int64) {
+	c := core.NewColoring(g.Len())
+	var lc, lb int64
+	layerCol := make([]core.Coloring, g.Z)
+	for k := 0; k < g.Z; k++ {
+		layer := g.Layer(k)
+		lcol, rc := BipartiteDecomposition2D(layer)
+		layerCol[k] = lcol
+		lb = max(lb, rc)
+		lc = max(lc, lcol.MaxColor(layer))
+	}
+	for k := 0; k < g.Z; k++ {
+		base := k * g.X * g.Y
+		var lift int64
+		if k%2 == 1 {
+			lift = lc
+		}
+		for v, s := range layerCol[k].Start {
+			c.Start[base+v] = s + lift
+		}
+	}
+	return c, lb
+}
+
+// postOrder builds BDP's recoloring order (Section V-B): vertices are
+// listed as members of the clique blocks sorted by non-increasing total
+// weight; within a block they are taken in increasing order of the lower
+// end of their current interval; each vertex appears at its first listing.
+func postOrder(g core.Graph, c core.Coloring, blocks []grid.Block) []int {
+	sorted := append([]grid.Block{}, blocks...)
+	grid.SortBlocksByWeightDesc(sorted)
+	order := make([]int, 0, g.Len())
+	seen := make([]bool, g.Len())
+	var members []int
+	for _, b := range sorted {
+		members = members[:0]
+		for _, v := range b.Vertices {
+			if !seen[v] {
+				members = append(members, v)
+			}
+		}
+		sort.SliceStable(members, func(a, bb int) bool {
+			return c.Start[members[a]] < c.Start[members[bb]]
+		})
+		for _, v := range members {
+			seen[v] = true
+			order = append(order, v)
+		}
+	}
+	for v := 0; v < g.Len(); v++ { // stragglers on degenerate grids
+		if !seen[v] {
+			order = append(order, v)
+		}
+	}
+	return order
+}
+
+// recolor compacts a complete valid coloring in place: each vertex in
+// order is lifted out and re-placed at its lowest feasible start. Because
+// the vertex's old start remains feasible, starts never increase, so the
+// result is valid with maxcolor no larger than the input's.
+func recolor(g core.Graph, c core.Coloring, order []int) {
+	var s core.FitScratch
+	for _, v := range order {
+		c.Start[v] = core.Unset
+		c.Start[v] = s.PlaceLowest(g, c, v, -1)
+	}
+}
+
+// BipartiteDecompositionPost2D is BDP in 2D: BD followed by the greedy
+// recoloring pass. The returned bound is BD's RC.
+func BipartiteDecompositionPost2D(g *grid.Grid2D) (core.Coloring, int64) {
+	c, rc := BipartiteDecomposition2D(g)
+	recolor(g, c, postOrder(g, c, blocksOf2D(g)))
+	return c, rc
+}
+
+// BipartiteDecompositionPost3D is BDP in 3D.
+func BipartiteDecompositionPost3D(g *grid.Grid3D) (core.Coloring, int64) {
+	c, lb := BipartiteDecomposition3D(g)
+	recolor(g, c, postOrder(g, c, blocksOf3D(g)))
+	return c, lb
+}

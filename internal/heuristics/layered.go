@@ -1,0 +1,42 @@
+package heuristics
+
+import (
+	"stencilivc/internal/core"
+	"stencilivc/internal/grid"
+)
+
+// LayeredBDP3D is an extension beyond the paper addressing its closing
+// question ("can we design approximation algorithms for coloring 27-pt
+// stencils with a ratio better than 4?") on the practical side: instead
+// of coloring each z-layer with plain BD (2-approx per layer), color it
+// with the post-optimized BDP, lift odd layers by the largest layer
+// maxcolor, and finish with a global recoloring pass.
+//
+// The worst-case ratio stays 4 (each layer's BDP is still only guaranteed
+// within 2 of its layer optimum, and the layer-chain doubling is tight in
+// the worst case), but the practical quality is consistently at or below
+// BD's — the recoloring passes never increase maxcolor — which is exactly
+// the gap the open question is about.
+func LayeredBDP3D(g *grid.Grid3D) core.Coloring {
+	c := core.NewColoring(g.Len())
+	var lc int64
+	layerCol := make([]core.Coloring, g.Z)
+	for k := 0; k < g.Z; k++ {
+		layer := g.Layer(k)
+		lcol, _ := BipartiteDecompositionPost2D(layer)
+		layerCol[k] = lcol
+		lc = max(lc, lcol.MaxColor(layer))
+	}
+	for k := 0; k < g.Z; k++ {
+		base := k * g.X * g.Y
+		var lift int64
+		if k%2 == 1 {
+			lift = lc
+		}
+		for v, s := range layerCol[k].Start {
+			c.Start[base+v] = s + lift
+		}
+	}
+	recolor(g, c, postOrder(g, c, blocksOf3D(g)))
+	return c
+}

@@ -1,0 +1,43 @@
+package heuristics
+
+import (
+	"stencilivc/internal/core"
+	"stencilivc/internal/grid"
+)
+
+// SmartLargestCliqueFirst3DFull is the SGK variant the paper describes
+// but rejected as too slow (Section V-A): for every K8 block, try every
+// permutation of its still-uncolored vertices (up to 8! = 40320 per
+// block) and commit the one minimizing the block's local maxcolor.
+// Exposed for the ablation benchmarks that quantify how much quality the
+// paper's weight-sorted shortcut (SmartLargestCliqueFirst3D) gives up —
+// on real instances most blocks have few uncolored vertices, so the
+// factorial blowup concentrates on the first blocks visited.
+func SmartLargestCliqueFirst3DFull(g *grid.Grid3D) core.Coloring {
+	blocks := append([]grid.Block{}, blocksOf3D(g)...)
+	grid.SortBlocksByWeightDesc(blocks)
+	c := core.NewColoring(g.Len())
+	var s core.FitScratch
+	var uncolored []int
+	for _, b := range blocks {
+		uncolored = uncolored[:0]
+		for _, v := range b.Vertices {
+			if !c.Colored(v) {
+				uncolored = append(uncolored, v)
+			}
+		}
+		if len(uncolored) == 0 {
+			continue
+		}
+		best := commitBestPermutation(g, c, &s, b.Vertices, uncolored)
+		for i, v := range uncolored {
+			c.Start[v] = best[i]
+		}
+	}
+	for v := 0; v < g.Len(); v++ {
+		if !c.Colored(v) {
+			c.Start[v] = s.PlaceLowest(g, c, v, -1)
+		}
+	}
+	return c
+}

@@ -1,0 +1,99 @@
+package nae
+
+import (
+	"fmt"
+
+	"stencilivc/internal/core"
+)
+
+// polarity is which half of [0,14) a weight-7 cell occupies:
+// 0 means [0,7), 1 means [7,14).
+type polarity int
+
+func (p polarity) start() int64 { return int64(p) * 7 }
+
+// flip returns the opposite polarity when steps is odd.
+func (p polarity) flip(steps int) polarity { return polarity((int(p) + steps) % 2) }
+
+// AssignmentColoring builds a valid coloring of the reduction instance
+// with maxcolor <= K from a satisfying NAE assignment — the constructive
+// half of Section IV's proof. It fails if the assignment does not satisfy
+// the instance (some clause would have all-equal terminals, leaving no
+// room for its three 3s).
+func AssignmentColoring(l *Layout, assignment []bool) (core.Coloring, error) {
+	if !l.Inst.Satisfied(assignment) {
+		return core.Coloring{}, fmt.Errorf("nae: assignment does not satisfy the instance")
+	}
+	c := core.NewColoring(l.Grid.Len())
+	// Weight-0 filler conflicts with nothing; pin it to 0.
+	for v := range c.Start {
+		c.Start[v] = 0
+	}
+
+	// Tubes: variable i's base polarity is 0 ([0,7)) iff true; the zig-zag
+	// alternates polarity at each layer.
+	basePol := make([]polarity, l.Inst.NumVars)
+	for i, val := range assignment {
+		if !val {
+			basePol[i] = 1
+		}
+		for z, id := range l.TubeCells[i] {
+			c.Start[id] = basePol[i].flip(z).start()
+		}
+	}
+
+	// Wires: chain cell t (0-based) sits t+1 steps after the clause-layer
+	// tube cell.
+	for j, cl := range l.Inst.Clauses {
+		z := l.ClauseLayer(j)
+		var termPol [3]polarity
+		for w := 0; w < 3; w++ {
+			tubePol := basePol[cl[w]].flip(z)
+			chain := l.WireChains[j][w]
+			for t, id := range chain {
+				c.Start[id] = tubePol.flip(t + 1).start()
+			}
+			termPol[w] = tubePol.flip(len(chain))
+		}
+		// Not all terminals are equal (the assignment satisfies the
+		// clause and wire-length parities agree); find the minority.
+		minority := -1
+		for w := 0; w < 3; w++ {
+			if termPol[w] != termPol[(w+1)%3] && termPol[w] != termPol[(w+2)%3] {
+				minority = w
+			}
+		}
+		if minority == -1 {
+			return core.Coloring{}, fmt.Errorf(
+				"nae: clause %d has all-equal terminal polarities; wire parity broken", j)
+		}
+		// The minority 3 hides in the half its terminal does not use; the
+		// two majority 3s stack in the other half.
+		maj := (minority + 1) % 3
+		maj2 := (minority + 2) % 3
+		if termPol[minority] == 1 { // minority terminal on [7,14)
+			c.Start[l.Threes[j][minority]] = 0
+			c.Start[l.Threes[j][maj]] = 7
+			c.Start[l.Threes[j][maj2]] = 10
+		} else { // minority terminal on [0,7)
+			c.Start[l.Threes[j][minority]] = 7
+			c.Start[l.Threes[j][maj]] = 0
+			c.Start[l.Threes[j][maj2]] = 3
+		}
+	}
+	return c, nil
+}
+
+// DecodeAssignment reads a variable assignment out of any valid coloring
+// of the reduction instance with maxcolor <= K: variable i is true iff its
+// tube's base cell (layer 0) is colored [0,7) — the inverse of Section
+// IV's polarity encoding. The caller is responsible for the coloring
+// being valid; Decode then guarantees the assignment satisfies the
+// instance (tested end-to-end against the brute-force NAE solver).
+func DecodeAssignment(l *Layout, c core.Coloring) []bool {
+	assignment := make([]bool, l.Inst.NumVars)
+	for i := range assignment {
+		assignment[i] = c.Start[l.TubeCells[i][0]] == 0
+	}
+	return assignment
+}

@@ -1,0 +1,101 @@
+// Package nae implements Not-All-Equal 3-SAT and the paper's Section IV
+// reduction from NAE-3SAT to 3DS-IVC, which proves that deciding whether a
+// 27-pt stencil can be interval-colored with K colors is NP-complete.
+//
+// An NAE-3SAT instance has n boolean variables and m clauses of three
+// distinct variables (no negations are needed for this variant); it is
+// positive when some assignment makes every clause contain at least one
+// true and at least one false variable.
+package nae
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Instance is a NAE-3SAT formula. Clauses hold 0-based variable indices,
+// strictly increasing within each clause (the reduction assumes
+// j1 < j2 < j3, mirroring the paper's WLOG ordering).
+type Instance struct {
+	NumVars int
+	Clauses [][3]int
+}
+
+// Validate checks structural sanity: at least one variable and clause,
+// indices in range and strictly increasing per clause.
+func (in Instance) Validate() error {
+	if in.NumVars < 1 {
+		return fmt.Errorf("nae: need at least 1 variable, got %d", in.NumVars)
+	}
+	if len(in.Clauses) < 1 {
+		return fmt.Errorf("nae: need at least 1 clause")
+	}
+	for ci, cl := range in.Clauses {
+		if !(0 <= cl[0] && cl[0] < cl[1] && cl[1] < cl[2] && cl[2] < in.NumVars) {
+			return fmt.Errorf("nae: clause %d = %v must be strictly increasing within [0,%d)",
+				ci, cl, in.NumVars)
+		}
+	}
+	return nil
+}
+
+// Satisfied reports whether the assignment makes every clause
+// not-all-equal. len(assignment) must be NumVars.
+func (in Instance) Satisfied(assignment []bool) bool {
+	if len(assignment) != in.NumVars {
+		return false
+	}
+	for _, cl := range in.Clauses {
+		a, b, c := assignment[cl[0]], assignment[cl[1]], assignment[cl[2]]
+		if a == b && b == c {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve brute-forces the instance, returning a satisfying assignment or
+// nil. Exponential in NumVars; intended for the small instances used to
+// validate the reduction. A property of NAE-3SAT (noted in Section IV) is
+// that the negation of any solution is also a solution, so Solve pins
+// variable 0 to false and still finds a witness whenever one exists.
+func (in Instance) Solve() []bool {
+	if err := in.Validate(); err != nil {
+		return nil
+	}
+	n := in.NumVars
+	assignment := make([]bool, n)
+	for mask := uint64(0); mask < uint64(1)<<(n-1); mask++ {
+		for i := 1; i < n; i++ {
+			assignment[i] = mask&(1<<(i-1)) != 0
+		}
+		if in.Satisfied(assignment) {
+			return append([]bool{}, assignment...)
+		}
+	}
+	return nil
+}
+
+// Random returns a uniformly random instance with the given shape, for
+// the reduction's equivalence tests. NumVars must be >= 3.
+func Random(rng *rand.Rand, numVars, numClauses int) Instance {
+	if numVars < 3 {
+		panic("nae: Random needs >= 3 variables")
+	}
+	in := Instance{NumVars: numVars}
+	for c := 0; c < numClauses; c++ {
+		perm := rng.Perm(numVars)[:3]
+		cl := [3]int{perm[0], perm[1], perm[2]}
+		if cl[0] > cl[1] {
+			cl[0], cl[1] = cl[1], cl[0]
+		}
+		if cl[1] > cl[2] {
+			cl[1], cl[2] = cl[2], cl[1]
+		}
+		if cl[0] > cl[1] {
+			cl[0], cl[1] = cl[1], cl[0]
+		}
+		in.Clauses = append(in.Clauses, cl)
+	}
+	return in
+}

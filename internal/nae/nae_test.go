@@ -1,0 +1,136 @@
+package nae
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInstanceValidate(t *testing.T) {
+	good := Instance{NumVars: 3, Clauses: [][3]int{{0, 1, 2}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good instance rejected: %v", err)
+	}
+	bad := []Instance{
+		{NumVars: 0, Clauses: [][3]int{{0, 1, 2}}},
+		{NumVars: 3},
+		{NumVars: 3, Clauses: [][3]int{{0, 2, 1}}},
+		{NumVars: 3, Clauses: [][3]int{{0, 1, 3}}},
+		{NumVars: 3, Clauses: [][3]int{{1, 1, 2}}},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("bad instance %d accepted", i)
+		}
+	}
+}
+
+func TestSatisfied(t *testing.T) {
+	in := Instance{NumVars: 3, Clauses: [][3]int{{0, 1, 2}}}
+	if in.Satisfied([]bool{true, true, true}) {
+		t.Error("all-true satisfies NAE clause")
+	}
+	if in.Satisfied([]bool{false, false, false}) {
+		t.Error("all-false satisfies NAE clause")
+	}
+	if !in.Satisfied([]bool{true, false, true}) {
+		t.Error("mixed does not satisfy")
+	}
+	if in.Satisfied([]bool{true}) {
+		t.Error("short assignment accepted")
+	}
+}
+
+func TestSolveFindsWitness(t *testing.T) {
+	in := Instance{NumVars: 3, Clauses: [][3]int{{0, 1, 2}}}
+	w := in.Solve()
+	if w == nil || !in.Satisfied(w) {
+		t.Fatalf("Solve = %v", w)
+	}
+}
+
+func TestSolveNegationSymmetry(t *testing.T) {
+	// If a solution exists, its negation is one too (Section IV); Solve
+	// exploits this by pinning variable 0, so it must still find a witness
+	// for instances whose "canonical" solutions set variable 0 true.
+	in := Instance{NumVars: 4, Clauses: [][3]int{{0, 1, 2}, {0, 1, 3}, {1, 2, 3}}}
+	w := in.Solve()
+	if w == nil {
+		t.Fatal("satisfiable instance unsolved")
+	}
+	neg := make([]bool, len(w))
+	for i, v := range w {
+		neg[i] = !v
+	}
+	if !in.Satisfied(neg) {
+		t.Error("negated witness does not satisfy")
+	}
+}
+
+func TestSolveDetectsUnsatisfiable(t *testing.T) {
+	// With 3 variables, forcing every triple to be not-all-equal is
+	// satisfiable; build an unsatisfiable instance by combining clauses
+	// over 4 variables that force a contradiction. The complete set of
+	// all 4 triples over {0,1,2,3} requires every 3-subset mixed; an
+	// assignment with two true/two false works, so that is satisfiable
+	// too. A genuinely unsatisfiable NAE instance needs repetition of
+	// structure; verify instead that Solve agrees with direct enumeration
+	// on random instances.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		in := Random(rng, 3+rng.Intn(3), 1+rng.Intn(6))
+		want := false
+		n := in.NumVars
+		assignment := make([]bool, n)
+		for mask := 0; mask < 1<<n; mask++ {
+			for i := 0; i < n; i++ {
+				assignment[i] = mask&(1<<i) != 0
+			}
+			if in.Satisfied(assignment) {
+				want = true
+				break
+			}
+		}
+		got := in.Solve() != nil
+		if got != want {
+			t.Fatalf("trial %d: Solve=%v enumeration=%v (instance %+v)", trial, got, want, in)
+		}
+	}
+}
+
+func TestRandomInstancesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		in := Random(rng, 3+rng.Intn(4), 1+rng.Intn(5))
+		if err := in.Validate(); err != nil {
+			t.Fatalf("Random produced invalid instance: %v", err)
+		}
+	}
+}
+
+func TestSolveRejectsInvalidInstance(t *testing.T) {
+	bad := Instance{NumVars: 0, Clauses: [][3]int{{0, 1, 2}}}
+	if got := bad.Solve(); got != nil {
+		t.Fatalf("invalid instance solved: %v", got)
+	}
+}
+
+func TestTerminalAndClauseLayer(t *testing.T) {
+	in := Instance{NumVars: 3, Clauses: [][3]int{{0, 1, 2}}}
+	l, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ClauseLayer(0) != 1 {
+		t.Fatalf("ClauseLayer(0) = %d", l.ClauseLayer(0))
+	}
+	for w := 0; w < 3; w++ {
+		term := l.Terminal(0, w)
+		chain := l.WireChains[0][w]
+		if term != chain[len(chain)-1] {
+			t.Fatalf("Terminal(0,%d) mismatch", w)
+		}
+	}
+	if TubeColumn(2) != 5 {
+		t.Fatalf("TubeColumn(2) = %d", TubeColumn(2))
+	}
+}

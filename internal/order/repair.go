@@ -1,0 +1,83 @@
+package order
+
+import (
+	"sort"
+
+	"stencilivc/internal/core"
+)
+
+// Repair fixes a coloring that became invalid because vertex weights
+// changed (the situation in dynamic applications like the flocking
+// example, where cell loads shift every simulation step): vertices are
+// visited in increasing old interval start; any vertex whose interval now
+// collides with an already-visited neighbor, or that was never colored,
+// is re-placed at its lowest feasible start. Vertices that still fit keep
+// their starts, so consecutive steps reuse most of the previous schedule.
+//
+// Returns the number of vertices whose start changed. The coloring is
+// guaranteed complete and valid afterwards.
+func Repair(g core.Graph, c core.Coloring) int {
+	n := g.Len()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	const inf = int64(1) << 62
+	key := func(v int) int64 {
+		if c.Start[v] < 0 {
+			return inf // never-colored vertices slot in around the kept ones
+		}
+		return c.Start[v]
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ka, kb := key(order[a]), key(order[b])
+		if ka != kb {
+			return ka < kb
+		}
+		return order[a] < order[b]
+	})
+	placed := make([]bool, n)
+	var buf []int
+	changed := 0
+	for _, v := range order {
+		old := c.Start[v]
+		ok := old >= 0
+		if ok && g.Weight(v) > 0 {
+			iv := core.NewInterval(old, g.Weight(v))
+			buf = g.Neighbors(v, buf[:0])
+			for _, u := range buf {
+				if placed[u] && iv.Overlaps(c.Interval(g, u)) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			// Re-place against the already-visited subset only; later
+			// vertices will adapt around this one in turn.
+			saved := c.Start[v]
+			c.Start[v] = core.Unset
+			c.Start[v] = lowestAgainstPlaced(g, c, v, placed)
+			if c.Start[v] != saved {
+				changed++
+			}
+		}
+		placed[v] = true
+	}
+	return changed
+}
+
+// lowestAgainstPlaced is PlaceLowest restricted to already-visited
+// neighbors.
+func lowestAgainstPlaced(g core.Graph, c core.Coloring, v int, placed []bool) int64 {
+	var occ []core.Interval
+	for _, u := range g.Neighbors(v, nil) {
+		if placed[u] && c.Colored(u) {
+			iv := c.Interval(g, u)
+			if !iv.Empty() {
+				occ = append(occ, iv)
+			}
+		}
+	}
+	return core.LowestFit(occ, g.Weight(v))
+}

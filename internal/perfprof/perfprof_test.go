@@ -1,0 +1,228 @@
+package perfprof
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Algorithm: "A", Instance: "i1", Value: 10, Runtime: 0.1},
+		{Algorithm: "B", Instance: "i1", Value: 20, Runtime: 0.2},
+		{Algorithm: "A", Instance: "i2", Value: 30, Runtime: 0.3},
+		{Algorithm: "B", Instance: "i2", Value: 15, Runtime: 0.1},
+		{Algorithm: "A", Instance: "i3", Value: 5, Runtime: 0.1},
+		{Algorithm: "B", Instance: "i3", Value: 5, Runtime: 0.2},
+	}
+}
+
+func TestComputeProfile(t *testing.T) {
+	p, err := Compute(sampleRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instances != 3 {
+		t.Fatalf("Instances = %d", p.Instances)
+	}
+	// A is best on i1 (tau 1), 2x worse on i2, ties on i3.
+	if got := p.BestAt1("A"); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("A win rate = %v, want 2/3", got)
+	}
+	if got := p.BestAt1("B"); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("B win rate = %v, want 2/3", got)
+	}
+	if got := p.At("A", 2.0); got != 1.0 {
+		t.Errorf("A at tau=2: %v, want 1", got)
+	}
+	if got := p.At("B", 1.5); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("B at tau=1.5: %v", got)
+	}
+	if got := p.MaxTau("A"); got != 2.0 {
+		t.Errorf("A MaxTau = %v", got)
+	}
+}
+
+func TestComputeRejectsPartialMatrix(t *testing.T) {
+	recs := sampleRecords()[:3] // i2 lacks algorithm B
+	if _, err := Compute(recs); err == nil {
+		t.Error("partial matrix accepted")
+	}
+	if _, err := Compute(nil); err == nil {
+		t.Error("empty records accepted")
+	}
+	dup := append(sampleRecords(), Record{Algorithm: "A", Instance: "i1", Value: 1})
+	if _, err := Compute(dup); err == nil {
+		t.Error("duplicate record accepted")
+	}
+}
+
+func TestComputeZeroBest(t *testing.T) {
+	recs := []Record{
+		{Algorithm: "A", Instance: "e", Value: 0},
+		{Algorithm: "B", Instance: "e", Value: 0},
+	}
+	p, err := Compute(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BestAt1("A") != 1 || p.BestAt1("B") != 1 {
+		t.Error("zero-best instance not counted as tie")
+	}
+	recs2 := []Record{
+		{Algorithm: "A", Instance: "e", Value: 0},
+		{Algorithm: "B", Instance: "e", Value: 3},
+	}
+	p2, err := Compute(recs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p2.Curves["B"][0], 1) {
+		t.Error("nonzero vs zero best should be infinite tau")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sums, err := Summarize(sampleRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	a := sums[0]
+	if a.Algorithm != "A" {
+		t.Fatalf("order wrong: %s first", a.Algorithm)
+	}
+	if math.Abs(a.MeanValue-15) > 1e-9 {
+		t.Errorf("A mean = %v", a.MeanValue)
+	}
+	if a.Instances != 3 {
+		t.Errorf("A instances = %d", a.Instances)
+	}
+	wantGeo := math.Pow(1*2*1, 1.0/3)
+	if math.Abs(a.GeoMeanTau-wantGeo) > 1e-9 {
+		t.Errorf("A geo tau = %v, want %v", a.GeoMeanTau, wantGeo)
+	}
+	if math.Abs(a.TotalRuntime-0.5) > 1e-9 {
+		t.Errorf("A total runtime = %v", a.TotalRuntime)
+	}
+}
+
+func TestRelativeSpeedAndQuality(t *testing.T) {
+	a := Summary{TotalRuntime: 1, MeanValue: 99}
+	b := Summary{TotalRuntime: 2.82, MeanValue: 100}
+	if got := RelativeSpeed(a, b); math.Abs(got-182) > 1e-9 {
+		t.Errorf("RelativeSpeed = %v, want 182", got)
+	}
+	if got := RelativeQuality(a, b); math.Abs(got-1) > 1e-9 {
+		t.Errorf("RelativeQuality = %v, want 1", got)
+	}
+	if got := RelativeSpeed(Summary{}, b); !math.IsInf(got, 1) {
+		t.Errorf("zero runtime speed = %v", got)
+	}
+}
+
+func TestLinreg(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	a, b, r, err := Linreg(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-1) > 1e-9 || math.Abs(b-2) > 1e-9 || math.Abs(r-1) > 1e-9 {
+		t.Errorf("Linreg = %v %v %v", a, b, r)
+	}
+	if _, _, _, err := Linreg([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, _, err := Linreg([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+	if _, _, r, _ := Linreg([]float64{1, 2, 3}, []float64{4, 4, 4}); r != 0 {
+		t.Errorf("flat y correlation = %v, want 0", r)
+	}
+}
+
+func TestPlotASCII(t *testing.T) {
+	p, err := Compute(sampleRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.PlotASCII(&buf, 40, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Proportion") || !strings.Contains(out, "*=A") {
+		t.Errorf("plot missing elements:\n%s", out)
+	}
+	if err := p.PlotASCII(&buf, 5, 2, 0); err == nil {
+		t.Error("tiny plot accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	p, err := Compute(sampleRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "algorithm,tau,proportion\n") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "A,1.000000") {
+		t.Errorf("missing A tau=1 row:\n%s", out)
+	}
+}
+
+func TestWriteRecordsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecordsCSV(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[1] != "i1,A,10,0.100000" {
+		t.Errorf("first data row = %q", lines[1])
+	}
+}
+
+func TestRuntimeBars(t *testing.T) {
+	sums, err := Summarize(sampleRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RuntimeBars(&buf, sums, 30); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#") {
+		t.Error("no bars rendered")
+	}
+	if err := RuntimeBars(&buf, sums, 2); err == nil {
+		t.Error("tiny width accepted")
+	}
+	// All-zero runtimes must not divide by zero.
+	if err := RuntimeBars(&buf, []Summary{{Algorithm: "Z"}}, 20); err != nil {
+		t.Errorf("zero runtimes: %v", err)
+	}
+}
+
+func TestFormatSummaries(t *testing.T) {
+	sums, err := Summarize(sampleRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatSummaries(sums)
+	if !strings.Contains(out, "alg") || !strings.Contains(out, "A") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,119 @@
+// Package perfprof computes the performance profiles and summary
+// statistics used throughout Section VI of the paper, renders them as
+// ASCII plots, and exports CSV series for external plotting.
+//
+// In a performance profile, tau is the ratio between an algorithm's
+// maxcolor on an instance and the best maxcolor any algorithm achieved on
+// that instance; an algorithm's curve passes through (tau, p) when it is
+// within a factor tau of the best on fraction p of the instances.
+package perfprof
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Record is one (algorithm, instance) measurement.
+type Record struct {
+	Algorithm string
+	Instance  string
+	// Value is the measured objective (maxcolor); smaller is better.
+	Value int64
+	// Runtime is the wall-clock seconds the algorithm took.
+	Runtime float64
+}
+
+// Profile is a performance profile: for each algorithm, a step curve of
+// (Tau, Proportion) points, already sorted by Tau.
+type Profile struct {
+	Algorithms []string
+	// Curves[alg] lists the instances' tau ratios, sorted ascending.
+	Curves map[string][]float64
+	// Instances counts the distinct instances profiled.
+	Instances int
+}
+
+// Compute builds the performance profile of a record set. Instances
+// missing some algorithm are rejected — a partial matrix silently skews
+// the curves. Instances where the best value is 0 (empty grids) count
+// every algorithm that also achieved 0 at tau = 1.
+func Compute(records []Record) (*Profile, error) {
+	byInstance := map[string]map[string]Record{}
+	algSet := map[string]bool{}
+	for _, r := range records {
+		if byInstance[r.Instance] == nil {
+			byInstance[r.Instance] = map[string]Record{}
+		}
+		if _, dup := byInstance[r.Instance][r.Algorithm]; dup {
+			return nil, fmt.Errorf("perfprof: duplicate record %s/%s", r.Instance, r.Algorithm)
+		}
+		byInstance[r.Instance][r.Algorithm] = r
+		algSet[r.Algorithm] = true
+	}
+	if len(byInstance) == 0 {
+		return nil, fmt.Errorf("perfprof: no records")
+	}
+	algorithms := make([]string, 0, len(algSet))
+	for a := range algSet {
+		algorithms = append(algorithms, a)
+	}
+	sort.Strings(algorithms)
+
+	curves := map[string][]float64{}
+	for inst, row := range byInstance {
+		if len(row) != len(algorithms) {
+			return nil, fmt.Errorf("perfprof: instance %s has %d of %d algorithms",
+				inst, len(row), len(algorithms))
+		}
+		best := int64(math.MaxInt64)
+		for _, r := range row {
+			best = min(best, r.Value)
+		}
+		for _, alg := range algorithms {
+			v := row[alg].Value
+			var tau float64
+			switch {
+			case best == 0 && v == 0:
+				tau = 1
+			case best == 0:
+				tau = math.Inf(1)
+			default:
+				tau = float64(v) / float64(best)
+			}
+			curves[alg] = append(curves[alg], tau)
+		}
+	}
+	for _, alg := range algorithms {
+		sort.Float64s(curves[alg])
+	}
+	return &Profile{Algorithms: algorithms, Curves: curves, Instances: len(byInstance)}, nil
+}
+
+// At returns the proportion of instances on which alg is within factor
+// tau of the best.
+func (p *Profile) At(alg string, tau float64) float64 {
+	curve := p.Curves[alg]
+	if len(curve) == 0 {
+		return 0
+	}
+	// Count entries <= tau (curve is sorted).
+	idx := sort.SearchFloat64s(curve, math.Nextafter(tau, math.Inf(1)))
+	return float64(idx) / float64(len(curve))
+}
+
+// BestAt1 returns the fraction of instances on which alg ties the best
+// (tau = 1) — the "wins" column of the paper's discussion.
+func (p *Profile) BestAt1(alg string) float64 { return p.At(alg, 1.0) }
+
+// MaxTau returns the largest finite tau of alg's curve (its worst
+// relative performance), or 1 if the curve is empty.
+func (p *Profile) MaxTau(alg string) float64 {
+	worst := 1.0
+	for _, t := range p.Curves[alg] {
+		if !math.IsInf(t, 1) {
+			worst = math.Max(worst, t)
+		}
+	}
+	return worst
+}

@@ -1,0 +1,125 @@
+package perfprof
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// PlotASCII renders the performance profile as a fixed-size ASCII chart:
+// x axis tau in [1, maxTau], y axis proportion in [0, 1], one glyph per
+// algorithm. It is how cmd/experiments prints Figures 5b-9 in a terminal.
+func (p *Profile) PlotASCII(w io.Writer, width, height int, maxTau float64) error {
+	if width < 20 || height < 5 {
+		return fmt.Errorf("perfprof: plot area %dx%d too small", width, height)
+	}
+	if maxTau <= 1 {
+		// Auto-scale to the worst finite tau, padded slightly.
+		maxTau = 1.0
+		for _, alg := range p.Algorithms {
+			maxTau = math.Max(maxTau, p.MaxTau(alg))
+		}
+		maxTau = maxTau*1.05 + 1e-9
+	}
+	glyphs := []byte("*o+x#@%&$~")
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	for ai, alg := range p.Algorithms {
+		glyph := glyphs[ai%len(glyphs)]
+		for col := 0; col < width; col++ {
+			tau := 1 + (maxTau-1)*float64(col)/float64(width-1)
+			prop := p.At(alg, tau)
+			row := height - 1 - int(prop*float64(height-1)+0.5)
+			canvas[row][col] = glyph
+		}
+	}
+	fmt.Fprintf(w, "Proportion of instances within tau of best (%d instances)\n", p.Instances)
+	for i, line := range canvas {
+		label := "    "
+		switch i {
+		case 0:
+			label = "1.00"
+		case height - 1:
+			label = "0.00"
+		case (height - 1) / 2:
+			label = "0.50"
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, line)
+	}
+	fmt.Fprintf(w, "      tau: 1.00 %s %.2f\n", strings.Repeat(" ", width-12), maxTau)
+	legend := make([]string, 0, len(p.Algorithms))
+	for ai, alg := range p.Algorithms {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[ai%len(glyphs)], alg))
+	}
+	fmt.Fprintf(w, "      %s\n", strings.Join(legend, "  "))
+	return nil
+}
+
+// WriteCSV emits the profile as tau-step CSV rows
+// (algorithm,tau,proportion), one row per distinct tau per algorithm, for
+// external plotting tools.
+func (p *Profile) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "algorithm,tau,proportion"); err != nil {
+		return err
+	}
+	for _, alg := range p.Algorithms {
+		curve := p.Curves[alg]
+		n := float64(len(curve))
+		for i, tau := range curve {
+			if i+1 < len(curve) && curve[i+1] == tau {
+				continue // emit only the last (highest proportion) step per tau
+			}
+			if math.IsInf(tau, 1) {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s,%.6f,%.6f\n", alg, tau, float64(i+1)/n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteRecordsCSV dumps raw records (instance,algorithm,value,runtime).
+func WriteRecordsCSV(w io.Writer, records []Record) error {
+	if _, err := fmt.Fprintln(w, "instance,algorithm,maxcolor,runtime_s"); err != nil {
+		return err
+	}
+	sorted := append([]Record{}, records...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Instance != sorted[b].Instance {
+			return sorted[a].Instance < sorted[b].Instance
+		}
+		return sorted[a].Algorithm < sorted[b].Algorithm
+	})
+	for _, r := range sorted {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%.6f\n", r.Instance, r.Algorithm, r.Value, r.Runtime); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RuntimeBars renders mean runtimes as a horizontal ASCII bar chart — the
+// shape of Figures 5a and 7a.
+func RuntimeBars(w io.Writer, summaries []Summary, width int) error {
+	if width < 10 {
+		return fmt.Errorf("perfprof: bar width %d too small", width)
+	}
+	var maxRT float64
+	for _, s := range summaries {
+		maxRT = math.Max(maxRT, s.MeanRuntime)
+	}
+	if maxRT == 0 {
+		maxRT = 1
+	}
+	for _, s := range summaries {
+		n := int(s.MeanRuntime / maxRT * float64(width))
+		fmt.Fprintf(w, "%-6s %12.6fs |%s\n", s.Algorithm, s.MeanRuntime, strings.Repeat("#", n))
+	}
+	return nil
+}

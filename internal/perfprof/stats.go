@@ -1,0 +1,133 @@
+package perfprof
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary aggregates one algorithm's results over a record set; it backs
+// the in-text statistics tables (T1/T2/T3 in DESIGN.md).
+type Summary struct {
+	Algorithm     string
+	Instances     int
+	MeanValue     float64 // arithmetic mean maxcolor
+	GeoMeanTau    float64 // geometric mean of ratios to the per-instance best
+	WinRate       float64 // fraction of instances at tau == 1
+	MeanRuntime   float64 // seconds
+	MedianRuntime float64 // seconds
+	TotalRuntime  float64 // seconds
+}
+
+// Summarize computes per-algorithm summaries from a complete record
+// matrix (same validation as Compute).
+func Summarize(records []Record) ([]Summary, error) {
+	prof, err := Compute(records)
+	if err != nil {
+		return nil, err
+	}
+	agg := map[string]*Summary{}
+	runtimes := map[string][]float64{}
+	for _, alg := range prof.Algorithms {
+		agg[alg] = &Summary{Algorithm: alg}
+	}
+	for _, r := range records {
+		s := agg[r.Algorithm]
+		s.Instances++
+		s.MeanValue += float64(r.Value)
+		s.MeanRuntime += r.Runtime
+		s.TotalRuntime += r.Runtime
+		runtimes[r.Algorithm] = append(runtimes[r.Algorithm], r.Runtime)
+	}
+	out := make([]Summary, 0, len(agg))
+	for _, alg := range prof.Algorithms {
+		s := agg[alg]
+		n := float64(s.Instances)
+		s.MeanValue /= n
+		s.MeanRuntime /= n
+		rts := runtimes[alg]
+		sort.Float64s(rts)
+		s.MedianRuntime = rts[len(rts)/2]
+		var logSum float64
+		finite := 0
+		for _, tau := range prof.Curves[alg] {
+			if !math.IsInf(tau, 1) {
+				logSum += math.Log(tau)
+				finite++
+			}
+		}
+		if finite > 0 {
+			s.GeoMeanTau = math.Exp(logSum / float64(finite))
+		} else {
+			s.GeoMeanTau = math.Inf(1)
+		}
+		s.WinRate = prof.BestAt1(alg)
+		out = append(out, *s)
+	}
+	return out, nil
+}
+
+// RelativeSpeed returns how much faster a is than b as the paper phrases
+// it ("BDP was 182% faster than SGK"): b's total runtime over a's, minus
+// one, as a percentage. Returns +Inf when a's total runtime is zero.
+func RelativeSpeed(a, b Summary) float64 {
+	if a.TotalRuntime == 0 {
+		return math.Inf(1)
+	}
+	return (b.TotalRuntime/a.TotalRuntime - 1) * 100
+}
+
+// RelativeQuality returns how many percent fewer colors a uses than b,
+// comparing mean maxcolor. Positive means a is better.
+func RelativeQuality(a, b Summary) float64 {
+	if b.MeanValue == 0 {
+		return 0
+	}
+	return (1 - a.MeanValue/b.MeanValue) * 100
+}
+
+// FormatSummaries renders summaries as an aligned text table.
+func FormatSummaries(summaries []Summary) string {
+	out := fmt.Sprintf("%-6s %9s %12s %10s %8s %12s %12s\n",
+		"alg", "instances", "mean colors", "geo tau", "win%", "mean time s", "total time s")
+	for _, s := range summaries {
+		out += fmt.Sprintf("%-6s %9d %12.2f %10.4f %7.1f%% %12.6f %12.4f\n",
+			s.Algorithm, s.Instances, s.MeanValue, s.GeoMeanTau, s.WinRate*100,
+			s.MeanRuntime, s.TotalRuntime)
+	}
+	return out
+}
+
+// Linreg fits y = a + b*x by least squares and returns the intercept,
+// slope, and Pearson correlation r. It backs Figure 10's "linear
+// correlation between colors and runtime" claim.
+func Linreg(xs, ys []float64) (a, b, r float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, 0, fmt.Errorf("perfprof: need >= 2 paired points, got %d/%d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, syy, sxy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, fmt.Errorf("perfprof: degenerate x values")
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		r = 0 // flat y: correlation undefined; report 0
+	} else {
+		r = sxy / math.Sqrt(sxx*syy)
+	}
+	return a, b, r, nil
+}

@@ -1,0 +1,173 @@
+package rectpart
+
+import (
+	"fmt"
+
+	"stencilivc/internal/grid"
+)
+
+// Bottleneck3D returns the heaviest block weight of a 3D grid under the
+// given interior cuts.
+func Bottleneck3D(g *grid.Grid3D, cutsX, cutsY, cutsZ []int) int64 {
+	xs := boundsFromCuts(cutsX, g.X)
+	ys := boundsFromCuts(cutsY, g.Y)
+	zs := boundsFromCuts(cutsZ, g.Z)
+	var worst int64
+	for bk := 0; bk+1 < len(zs); bk++ {
+		for bj := 0; bj+1 < len(ys); bj++ {
+			for bi := 0; bi+1 < len(xs); bi++ {
+				var sum int64
+				for k := zs[bk]; k < zs[bk+1]; k++ {
+					for j := ys[bj]; j < ys[bj+1]; j++ {
+						for i := xs[bi]; i < xs[bi+1]; i++ {
+							sum += g.At(i, j, k)
+						}
+					}
+				}
+				worst = max(worst, sum)
+			}
+		}
+	}
+	return worst
+}
+
+// Partition3D computes a kx×ky×kz rectilinear partition with alternating
+// per-axis exact re-optimization, starting from uniform cuts.
+func Partition3D(g *grid.Grid3D, kx, ky, kz, maxRounds int) (cutsX, cutsY, cutsZ []int, bottleneck int64, err error) {
+	if kx < 1 || kx > g.X || ky < 1 || ky > g.Y || kz < 1 || kz > g.Z {
+		return nil, nil, nil, 0, fmt.Errorf("rectpart: partition %dx%dx%d invalid for grid %dx%dx%d",
+			kx, ky, kz, g.X, g.Y, g.Z)
+	}
+	if maxRounds < 1 {
+		maxRounds = 10
+	}
+	cutsX = uniformCuts(g.X, kx)
+	cutsY = uniformCuts(g.Y, ky)
+	cutsZ = uniformCuts(g.Z, kz)
+	best := Bottleneck3D(g, cutsX, cutsY, cutsZ)
+	for round := 0; round < maxRounds; round++ {
+		nx, err := optimizeAxis3D(g, 0, kx, cutsY, cutsZ)
+		if err != nil {
+			return nil, nil, nil, 0, err
+		}
+		cutsX = nx
+		ny, err := optimizeAxis3D(g, 1, ky, cutsX, cutsZ)
+		if err != nil {
+			return nil, nil, nil, 0, err
+		}
+		cutsY = ny
+		nz, err := optimizeAxis3D(g, 2, kz, cutsX, cutsY)
+		if err != nil {
+			return nil, nil, nil, 0, err
+		}
+		cutsZ = nz
+		now := Bottleneck3D(g, cutsX, cutsY, cutsZ)
+		if now >= best {
+			best = min(best, now)
+			break
+		}
+		best = now
+	}
+	return cutsX, cutsY, cutsZ, best, nil
+}
+
+// optimizeAxis3D exactly re-partitions axis (0=x, 1=y, 2=z) given fixed
+// cuts on the other two axes. cutsA/cutsB are the fixed axes' cuts in
+// (y,z), (x,z), (x,y) order respectively.
+func optimizeAxis3D(g *grid.Grid3D, axis, k int, cutsA, cutsB []int) ([]int, error) {
+	var nAxis, nA, nB int
+	switch axis {
+	case 0:
+		nAxis, nA, nB = g.X, g.Y, g.Z
+	case 1:
+		nAxis, nA, nB = g.Y, g.X, g.Z
+	case 2:
+		nAxis, nA, nB = g.Z, g.X, g.Y
+	default:
+		return nil, fmt.Errorf("rectpart: bad axis %d", axis)
+	}
+	if k > nAxis {
+		return nil, fmt.Errorf("rectpart: k %d exceeds axis size %d", k, nAxis)
+	}
+	at := func(i, a, b int) int64 {
+		switch axis {
+		case 0:
+			return g.At(i, a, b)
+		case 1:
+			return g.At(a, i, b)
+		default:
+			return g.At(a, b, i)
+		}
+	}
+	as := boundsFromCuts(cutsA, nA)
+	bs := boundsFromCuts(cutsB, nB)
+	nSlabs := (len(as) - 1) * (len(bs) - 1)
+	// lineLoad[s][i] = weight of cross-section line i restricted to slab s.
+	lineLoad := make([][]int64, nSlabs)
+	s := 0
+	var total int64
+	for sb := 0; sb+1 < len(bs); sb++ {
+		for sa := 0; sa+1 < len(as); sa++ {
+			lineLoad[s] = make([]int64, nAxis)
+			for i := 0; i < nAxis; i++ {
+				var sum int64
+				for b := bs[sb]; b < bs[sb+1]; b++ {
+					for a := as[sa]; a < as[sa+1]; a++ {
+						sum += at(i, a, b)
+					}
+				}
+				lineLoad[s][i] = sum
+				total += sum
+			}
+			s++
+		}
+	}
+	feasible := func(bnd int64) ([]int, bool) {
+		cuts := make([]int, 0, k-1)
+		cur := make([]int64, nSlabs)
+		for i := 0; i < nAxis; i++ {
+			over := false
+			for s := 0; s < nSlabs; s++ {
+				if cur[s]+lineLoad[s][i] > bnd {
+					over = true
+					break
+				}
+			}
+			if over {
+				if len(cuts) == k-1 {
+					return nil, false
+				}
+				cuts = append(cuts, i)
+				for s := range cur {
+					cur[s] = 0
+				}
+				for s := 0; s < nSlabs; s++ {
+					if lineLoad[s][i] > bnd {
+						return nil, false
+					}
+				}
+			}
+			for s := 0; s < nSlabs; s++ {
+				cur[s] += lineLoad[s][i]
+			}
+		}
+		for len(cuts) < k-1 {
+			cuts = append(cuts, nAxis)
+		}
+		return cuts, true
+	}
+	lo, hi := int64(0), total
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if _, ok := feasible(mid); ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	cuts, ok := feasible(lo)
+	if !ok {
+		return nil, fmt.Errorf("rectpart: internal 3D probe inconsistency")
+	}
+	return cuts, nil
+}

@@ -1,0 +1,254 @@
+// Package rectpart implements rectilinear partitioning of weighted grids
+// after Nicol (reference [2] of the paper): choose axis-aligned cuts so
+// the heaviest block is as light as possible. The paper's application
+// setting partitions space rectilinearly before coloring the resulting
+// stencil; balancing block loads both lowers the coloring's maxcolor and
+// tightens the K4/K8 bound, so the partitioner is a natural companion to
+// the coloring algorithms.
+//
+// The 1D problem (contiguous partition of an array minimizing the
+// maximum part sum) is solved exactly with the classic probe algorithm:
+// binary search on the bottleneck, greedy feasibility check. The 2D and
+// 3D generalized block distributions are NP-hard; Nicol's alternating
+// refinement fixes the cuts of all but one dimension and optimally
+// re-partitions that dimension (an exact 1D solve against per-slab
+// prefix sums), iterating to a local optimum.
+package rectpart
+
+import (
+	"fmt"
+
+	"stencilivc/internal/grid"
+)
+
+// Partition1D splits loads into k contiguous parts minimizing the
+// maximum part sum. It returns the k-1 interior cut positions (part i is
+// loads[cuts[i-1]:cuts[i]]) and the bottleneck value. k must be in
+// [1, len(loads)]; parts are allowed to be empty only when k exceeds the
+// number of positive entries, in which case trailing parts may be empty.
+func Partition1D(loads []int64, k int) ([]int, int64, error) {
+	n := len(loads)
+	if k < 1 {
+		return nil, 0, fmt.Errorf("rectpart: k = %d < 1", k)
+	}
+	for _, l := range loads {
+		if l < 0 {
+			return nil, 0, fmt.Errorf("rectpart: negative load %d", l)
+		}
+	}
+	prefix := make([]int64, n+1)
+	for i, l := range loads {
+		prefix[i+1] = prefix[i] + l
+	}
+	// Binary search the smallest bottleneck b such that the array splits
+	// into <= k parts each of sum <= b.
+	lo, hi := int64(0), prefix[n]
+	feasible := func(b int64) bool {
+		parts, cur := 1, int64(0)
+		for _, l := range loads {
+			if l > b {
+				return false
+			}
+			if cur+l > b {
+				parts++
+				cur = 0
+			}
+			cur += l
+		}
+		return parts <= k
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	// Greedily realize the cuts for bottleneck lo.
+	cuts := make([]int, 0, k-1)
+	var cur int64
+	for i, l := range loads {
+		if cur+l > lo && len(cuts) < k-1 {
+			cuts = append(cuts, i)
+			cur = 0
+		}
+		cur += l
+	}
+	for len(cuts) < k-1 {
+		cuts = append(cuts, n) // empty trailing parts
+	}
+	return cuts, lo, nil
+}
+
+// Bottleneck2D returns the heaviest block weight of a 2D grid under the
+// given interior cuts (cutsX partitions columns, cutsY rows).
+func Bottleneck2D(g *grid.Grid2D, cutsX, cutsY []int) int64 {
+	xs := boundsFromCuts(cutsX, g.X)
+	ys := boundsFromCuts(cutsY, g.Y)
+	var worst int64
+	for bi := 0; bi+1 < len(xs); bi++ {
+		for bj := 0; bj+1 < len(ys); bj++ {
+			var sum int64
+			for j := ys[bj]; j < ys[bj+1]; j++ {
+				for i := xs[bi]; i < xs[bi+1]; i++ {
+					sum += g.At(i, j)
+				}
+			}
+			worst = max(worst, sum)
+		}
+	}
+	return worst
+}
+
+// Partition2D computes a kx×ky rectilinear partition of g with Nicol's
+// alternating refinement, starting from uniform cuts. It returns the
+// interior cut positions per axis and the bottleneck block weight.
+func Partition2D(g *grid.Grid2D, kx, ky, maxRounds int) ([]int, []int, int64, error) {
+	if kx < 1 || kx > g.X || ky < 1 || ky > g.Y {
+		return nil, nil, 0, fmt.Errorf("rectpart: partition %dx%d invalid for grid %dx%d",
+			kx, ky, g.X, g.Y)
+	}
+	if maxRounds < 1 {
+		maxRounds = 10
+	}
+	cutsX := uniformCuts(g.X, kx)
+	cutsY := uniformCuts(g.Y, ky)
+	best := Bottleneck2D(g, cutsX, cutsY)
+	for round := 0; round < maxRounds; round++ {
+		// Re-optimize the x cuts against the current y strips: the load
+		// of column i is the per-strip sums; an x-interval's block weight
+		// is the max over strips of the strip-restricted sum. The probe
+		// algorithm applies with per-strip prefix sums.
+		nx, err := optimizeAxis(g, cutsY, kx, true)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		cutsX = nx
+		ny, err := optimizeAxis(g, cutsX, ky, false)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		cutsY = ny
+		now := Bottleneck2D(g, cutsX, cutsY)
+		if now >= best {
+			best = min(best, now)
+			break
+		}
+		best = now
+	}
+	return cutsX, cutsY, best, nil
+}
+
+// optimizeAxis exactly re-partitions one axis given fixed cuts on the
+// other: binary search on the bottleneck with a greedy scan where the
+// cost of extending the current part by one column (row) is evaluated
+// per fixed strip.
+func optimizeAxis(g *grid.Grid2D, fixedCuts []int, k int, optimizeX bool) ([]int, error) {
+	var nAxis int
+	if optimizeX {
+		nAxis = g.X
+	} else {
+		nAxis = g.Y
+	}
+	if k > nAxis {
+		return nil, fmt.Errorf("rectpart: k %d exceeds axis size %d", k, nAxis)
+	}
+	var fixedN int
+	if optimizeX {
+		fixedN = g.Y
+	} else {
+		fixedN = g.X
+	}
+	strips := boundsFromCuts(fixedCuts, fixedN)
+	ns := len(strips) - 1
+	// lineLoad[s][i] = weight of line i restricted to strip s.
+	lineLoad := make([][]int64, ns)
+	for s := range lineLoad {
+		lineLoad[s] = make([]int64, nAxis)
+		for i := 0; i < nAxis; i++ {
+			var sum int64
+			for f := strips[s]; f < strips[s+1]; f++ {
+				if optimizeX {
+					sum += g.At(i, f)
+				} else {
+					sum += g.At(f, i)
+				}
+			}
+			lineLoad[s][i] = sum
+		}
+	}
+	var total int64
+	for s := 0; s < ns; s++ {
+		for i := 0; i < nAxis; i++ {
+			total += lineLoad[s][i]
+		}
+	}
+	feasible := func(b int64) ([]int, bool) {
+		cuts := make([]int, 0, k-1)
+		cur := make([]int64, ns)
+		for i := 0; i < nAxis; i++ {
+			over := false
+			for s := 0; s < ns; s++ {
+				if cur[s]+lineLoad[s][i] > b {
+					over = true
+					break
+				}
+			}
+			if over {
+				if len(cuts) == k-1 {
+					return nil, false
+				}
+				cuts = append(cuts, i)
+				for s := range cur {
+					cur[s] = 0
+				}
+				for s := 0; s < ns; s++ {
+					if lineLoad[s][i] > b {
+						return nil, false
+					}
+				}
+			}
+			for s := 0; s < ns; s++ {
+				cur[s] += lineLoad[s][i]
+			}
+		}
+		for len(cuts) < k-1 {
+			cuts = append(cuts, nAxis)
+		}
+		return cuts, true
+	}
+	lo, hi := int64(0), total
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if _, ok := feasible(mid); ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	cuts, ok := feasible(lo)
+	if !ok {
+		return nil, fmt.Errorf("rectpart: internal probe inconsistency")
+	}
+	return cuts, nil
+}
+
+// uniformCuts returns k-1 evenly spaced interior cuts of an n-axis.
+func uniformCuts(n, k int) []int {
+	cuts := make([]int, k-1)
+	for i := 1; i < k; i++ {
+		cuts[i-1] = i * n / k
+	}
+	return cuts
+}
+
+// boundsFromCuts converts interior cuts into a bounds array
+// [0, c1, ..., ck-1, n].
+func boundsFromCuts(cuts []int, n int) []int {
+	out := make([]int, 0, len(cuts)+2)
+	out = append(out, 0)
+	out = append(out, cuts...)
+	out = append(out, n)
+	return out
+}

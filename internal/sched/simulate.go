@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Schedule is the outcome of a simulated execution.
+type Schedule struct {
+	// Makespan is the completion time of the last task.
+	Makespan int64
+	// Start[v] is when task v began executing.
+	Start []int64
+	// Worker[v] is the processor that ran task v.
+	Worker []int
+}
+
+// Simulate list-schedules the DAG on p identical processors: whenever a
+// processor is free, it takes the ready task with the smallest
+// (Priority, id) — the order the paper creates OpenMP tasks in. The
+// simulation is deterministic, so experiments comparing colorings see
+// scheduling effects only, never timer noise.
+func Simulate(d *DAG, p int) (*Schedule, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("sched: need >= 1 processor, got %d", p)
+	}
+	n := d.Len()
+	s := &Schedule{
+		Start:  make([]int64, n),
+		Worker: make([]int, n),
+	}
+	indeg := append([]int32{}, d.Preds...)
+	ready := &taskHeap{prio: d.Priority}
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			heap.Push(ready, v)
+		}
+	}
+	running := &eventHeap{}
+	freeWorkers := make([]int, 0, p)
+	for w := p - 1; w >= 0; w-- {
+		freeWorkers = append(freeWorkers, w)
+	}
+	var now int64
+	done := 0
+	for done < n {
+		// Dispatch while workers and ready tasks remain.
+		for len(freeWorkers) > 0 && ready.Len() > 0 {
+			v := heap.Pop(ready).(int)
+			w := freeWorkers[len(freeWorkers)-1]
+			freeWorkers = freeWorkers[:len(freeWorkers)-1]
+			s.Start[v] = now
+			s.Worker[v] = w
+			heap.Push(running, event{at: now + d.Duration[v], task: v, worker: w})
+		}
+		if running.Len() == 0 {
+			return nil, fmt.Errorf("sched: deadlock with %d of %d tasks done", done, n)
+		}
+		// Advance to the next completion; release everything finishing then.
+		now = (*running)[0].at
+		for running.Len() > 0 && (*running)[0].at == now {
+			ev := heap.Pop(running).(event)
+			freeWorkers = append(freeWorkers, ev.worker)
+			done++
+			for _, u := range d.Succs[ev.task] {
+				indeg[u]--
+				if indeg[u] == 0 {
+					heap.Push(ready, int(u))
+				}
+			}
+		}
+		s.Makespan = max(s.Makespan, now)
+	}
+	return s, nil
+}
+
+// taskHeap orders ready tasks by (priority, id).
+type taskHeap struct {
+	prio  []int64
+	items []int
+}
+
+func (h *taskHeap) Len() int { return len(h.items) }
+func (h *taskHeap) Less(a, b int) bool {
+	va, vb := h.items[a], h.items[b]
+	if h.prio[va] != h.prio[vb] {
+		return h.prio[va] < h.prio[vb]
+	}
+	return va < vb
+}
+func (h *taskHeap) Swap(a, b int) { h.items[a], h.items[b] = h.items[b], h.items[a] }
+func (h *taskHeap) Push(x any)    { h.items = append(h.items, x.(int)) }
+func (h *taskHeap) Pop() any {
+	last := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return last
+}
+
+type event struct {
+	at     int64
+	task   int
+	worker int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(a, b int) bool {
+	if h[a].at != h[b].at {
+		return h[a].at < h[b].at
+	}
+	return h[a].task < h[b].task
+}
+func (h eventHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	last := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return last
+}

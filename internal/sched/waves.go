@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"stencilivc/internal/core"
+)
+
+// ColorClasses partitions the positive-weight vertices of g into
+// conflict-free classes with a classic (unweighted) greedy distance-1
+// coloring in vertex order — the traditional "color the graph, run one
+// color per wave" parallelization that interval coloring refines. The
+// returned classes are ordered by class color; zero-weight vertices are
+// omitted (they do no work and conflict with nothing).
+func ColorClasses(g core.Graph) [][]int {
+	n := g.Len()
+	color := make([]int, n)
+	for v := range color {
+		color[v] = -1
+	}
+	var classes [][]int
+	var buf []int
+	var used []bool
+	for v := 0; v < n; v++ {
+		if g.Weight(v) == 0 {
+			continue
+		}
+		used = used[:0]
+		buf = g.Neighbors(v, buf[:0])
+		for _, u := range buf {
+			if c := color[u]; c >= 0 {
+				for len(used) <= c {
+					used = append(used, false)
+				}
+				used[c] = true
+			}
+		}
+		c := 0
+		for c < len(used) && used[c] {
+			c++
+		}
+		color[v] = c
+		for len(classes) <= c {
+			classes = append(classes, nil)
+		}
+		classes[c] = append(classes[c], v)
+	}
+	return classes
+}
+
+// SimulateWaves models barrier-synchronized execution: each class runs to
+// completion on p processors (longest-task-first within the wave) before
+// the next class starts. The result upper-bounds what an interval-
+// coloring DAG execution needs, quantifying the benefit of removing the
+// barriers (the ablation behind Section VII's design choice).
+func SimulateWaves(g core.Graph, classes [][]int, p int) (int64, error) {
+	if p < 1 {
+		return 0, fmt.Errorf("sched: need >= 1 processor, got %d", p)
+	}
+	seen := make([]bool, g.Len())
+	var makespan int64
+	for _, class := range classes {
+		// Within a wave, tasks are independent: greedy LPT assignment.
+		tasks := append([]int{}, class...)
+		for _, v := range tasks {
+			if v < 0 || v >= g.Len() {
+				return 0, fmt.Errorf("sched: class vertex %d out of range", v)
+			}
+			if seen[v] {
+				return 0, fmt.Errorf("sched: vertex %d appears in two classes", v)
+			}
+			seen[v] = true
+		}
+		sort.SliceStable(tasks, func(a, b int) bool {
+			return g.Weight(tasks[a]) > g.Weight(tasks[b])
+		})
+		loads := make([]int64, p)
+		for _, v := range tasks {
+			// Place on the least-loaded processor.
+			best := 0
+			for w := 1; w < p; w++ {
+				if loads[w] < loads[best] {
+					best = w
+				}
+			}
+			loads[best] += g.Weight(v)
+		}
+		var wave int64
+		for _, l := range loads {
+			wave = max(wave, l)
+		}
+		makespan += wave
+	}
+	return makespan, nil
+}

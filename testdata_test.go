@@ -1,0 +1,68 @@
+package stencilivc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTestdataInstances keeps the shipped example instances loadable and
+// colorable — they double as documentation and as cmd/ivc demo inputs.
+func TestTestdataInstances(t *testing.T) {
+	cases := []struct {
+		file     string
+		is3D     bool
+		vertices int
+		lowerBnd int64
+	}{
+		{"intro5x4.ivc", false, 20, 14},
+		{"figure3.ivc", false, 48, 16},
+		{"tiny3d.ivc", true, 18, 14},
+	}
+	for _, tc := range cases {
+		f, err := os.Open(filepath.Join("testdata", tc.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, g3, err := ReadInstance(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.file, err)
+		}
+		if tc.is3D {
+			if g3 == nil {
+				t.Fatalf("%s: expected 3D instance", tc.file)
+			}
+			if g3.Len() != tc.vertices {
+				t.Fatalf("%s: %d vertices, want %d", tc.file, g3.Len(), tc.vertices)
+			}
+			if lb := LowerBound3D(g3); lb != tc.lowerBnd {
+				t.Fatalf("%s: lower bound %d, want %d", tc.file, lb, tc.lowerBnd)
+			}
+			c, _, err := Best3D(g3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Validate(g3); err != nil {
+				t.Fatalf("%s: %v", tc.file, err)
+			}
+			continue
+		}
+		if g2 == nil {
+			t.Fatalf("%s: expected 2D instance", tc.file)
+		}
+		if g2.Len() != tc.vertices {
+			t.Fatalf("%s: %d vertices, want %d", tc.file, g2.Len(), tc.vertices)
+		}
+		if lb := LowerBound2D(g2); lb != tc.lowerBnd {
+			t.Fatalf("%s: lower bound %d, want %d", tc.file, lb, tc.lowerBnd)
+		}
+		c, _, err := Best2D(g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Validate(g2); err != nil {
+			t.Fatalf("%s: %v", tc.file, err)
+		}
+	}
+}
