@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments experiments-full stkde cover clean
+.PHONY: all build vet test race check bench experiments experiments-full stkde cover clean
 
-all: build vet test
+all: build check
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/stkde ./internal/sched
+	$(GO) test -race ./...
+
+# check is the CI gate: static analysis plus the full suite under the
+# race detector, so the portfolio's concurrency paths are race-checked
+# on every build (it is part of the default `make` flow via `all`).
+check: vet race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -81,6 +81,7 @@ func run() error {
 			return err
 		}
 		fmt.Printf("2D suite: %d instances x %d algorithms\n", len(res2.BestValue), 7)
+		fmt.Println("2D solver " + res2.Stats.String())
 	}
 	if need3D {
 		var err error
@@ -89,6 +90,7 @@ func run() error {
 			return err
 		}
 		fmt.Printf("3D suite: %d instances x %d algorithms\n", len(res3.BestValue), 7)
+		fmt.Println("3D solver " + res3.Stats.String())
 	}
 
 	if wantFig(5) {

@@ -4,7 +4,10 @@
 //
 //	ivc -alg BDP < instance.ivc          color an instance from stdin
 //	ivc -alg all -in instance.ivc        compare all algorithms
+//	ivc -alg best -par 4 -in g.ivc       run the portfolio on 4 goroutines
 //	ivc -alg SGK -in g.ivc -print        also print the coloring
+//	ivc -alg BDP -in g.ivc -stats        report solver work counters
+//	ivc -alg BDP -in g.ivc -timeout 2s   abort long solves
 //	ivc -alg BDP -in g.ivc -exact 500000 additionally certify optimality
 //	ivc -alg BDP -in g.ivc -simulate 4 -gantt   draw the schedule
 //
@@ -13,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,9 +36,12 @@ func main() {
 }
 
 func run() error {
-	algName := flag.String("alg", "BDP", "algorithm (GLL, GZO, GLF, GKF, SGK, BD, BDP, best, all)")
+	algName := flag.String("alg", "BDP", "algorithm (GLL, GZO, GLF, GKF, SGK, BD, BDP, BDL, best, all)")
 	inPath := flag.String("in", "-", "instance file ('-' for stdin)")
 	print := flag.Bool("print", false, "print the start color of every vertex")
+	stats := flag.Bool("stats", false, "report solver work counters and per-phase wall times")
+	timeout := flag.Duration("timeout", 0, "if > 0, abort solving after this long")
+	par := flag.Int("par", 1, "portfolio parallelism for -alg best (goroutines)")
 	exactBudget := flag.Int("exact", 0, "if > 0, also run the exact solver with this node budget")
 	workers := flag.Int("simulate", 0, "if > 0, simulate execution on this many processors")
 	gantt := flag.Bool("gantt", false, "with -simulate, draw the schedule as a Gantt chart")
@@ -54,24 +61,26 @@ func run() error {
 		return err
 	}
 
-	var g stencilivc.Graph
-	var lb int64
-	solve := func(alg stencilivc.Algorithm) (stencilivc.Coloring, error) {
-		if g2 != nil {
-			return stencilivc.Solve2D(alg, g2)
-		}
-		return stencilivc.Solve3D(alg, g3)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
+	opts := &stencilivc.SolveOptions{Ctx: ctx, Parallelism: *par, Stats: &stencilivc.Stats{}}
+
+	var s stencilivc.Stencil
+	var lb int64
 	const cycleBudget = 200_000
 	if g2 != nil {
 		rep := bounds.Report2D(g2, cycleBudget)
-		g, lb = g2, rep.Best()
+		s, lb = g2, rep.Best()
 		fmt.Printf("instance: 9-pt stencil %dx%d, %d vertices\n", g2.X, g2.Y, g2.Len())
 		fmt.Print(render.Weights2D(g2))
 		fmt.Println(rep)
 	} else {
 		rep := bounds.Report3D(g3, cycleBudget)
-		g, lb = g3, rep.Best()
+		s, lb = g3, rep.Best()
 		fmt.Printf("instance: 27-pt stencil %dx%dx%d, %d vertices\n", g3.X, g3.Y, g3.Z, g3.Len())
 		fmt.Println(rep)
 	}
@@ -82,42 +91,44 @@ func run() error {
 		algs = stencilivc.Algorithms()
 	case "best":
 		t0 := time.Now()
-		var c stencilivc.Coloring
-		var winner stencilivc.Algorithm
-		var err error
-		if g2 != nil {
-			c, winner, err = stencilivc.Best2D(g2)
-		} else {
-			c, winner, err = stencilivc.Best3D(g3)
-		}
+		c, winner, err := stencilivc.Best(s, opts)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("best: %-4s maxcolor=%d (%.3fms, all algorithms)\n",
-			winner, c.MaxColor(g), float64(time.Since(t0).Microseconds())/1000)
-		return finish(g, c, lb, *print, *exactBudget, *workers, *gantt, g2, g3)
+		fmt.Printf("best: %-4s maxcolor=%d (%.3fms, all algorithms, par=%d)\n",
+			winner, c.MaxColor(s), float64(time.Since(t0).Microseconds())/1000, opts.Par())
+		reportStats(*stats, opts)
+		return finish(s, c, lb, *print, *exactBudget, *workers, *gantt, g2, g3)
 	}
 
 	var last stencilivc.Coloring
 	for _, alg := range algs {
 		t0 := time.Now()
-		c, err := solve(alg)
+		c, err := stencilivc.Solve(alg, s, opts)
 		if err != nil {
 			return err
 		}
 		dt := time.Since(t0)
-		if err := c.Validate(g); err != nil {
+		if err := c.Validate(s); err != nil {
 			return fmt.Errorf("%s produced an invalid coloring: %w", alg, err)
 		}
 		mark := ""
-		if c.MaxColor(g) == lb {
+		if c.MaxColor(s) == lb {
 			mark = "  (provably optimal)"
 		}
 		fmt.Printf("%-4s maxcolor=%-8d %10.3fms%s\n",
-			alg, c.MaxColor(g), float64(dt.Microseconds())/1000, mark)
+			alg, c.MaxColor(s), float64(dt.Microseconds())/1000, mark)
 		last = c
 	}
-	return finish(g, last, lb, *print, *exactBudget, *workers, *gantt, g2, g3)
+	reportStats(*stats, opts)
+	return finish(s, last, lb, *print, *exactBudget, *workers, *gantt, g2, g3)
+}
+
+// reportStats prints the solver counters when -stats was requested.
+func reportStats(enabled bool, opts *stencilivc.SolveOptions) {
+	if enabled {
+		fmt.Println(opts.Stats.String())
+	}
 }
 
 func finish(g stencilivc.Graph, c stencilivc.Coloring, lb int64,

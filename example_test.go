@@ -1,7 +1,9 @@
 package stencilivc_test
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"stencilivc"
 )
@@ -27,6 +29,33 @@ func Example() {
 	// valid: true
 	// colors: 9
 	// lower bound: 9
+}
+
+// The Solver pipeline: SolveOptions carries a context (cancellation), a
+// parallelism knob (the portfolio runs concurrently but returns results
+// byte-identical to the sequential run), and a Stats sink counting
+// placements, probes, and per-phase wall time.
+func ExampleBest() {
+	g := stencilivc.MustGrid2D(8, 8)
+	for v := range g.W {
+		g.W[v] = int64(v%7) + 1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var stats stencilivc.Stats
+	c, alg, err := stencilivc.Best(g, &stencilivc.SolveOptions{
+		Ctx:         ctx,
+		Parallelism: 4,
+		Stats:       &stats,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("winner:", alg, "colors:", c.MaxColor(g))
+	fmt.Println("placed all vertices:", stats.Placements() >= int64(g.Len()))
+	// Output:
+	// winner: BD colors: 26
+	// placed all vertices: true
 }
 
 // Exact solving proves optimality on small instances.

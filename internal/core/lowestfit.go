@@ -32,10 +32,14 @@ func LowestFit(occ []Interval, w int64) int64 {
 }
 
 // FitScratch is a reusable buffer for repeated lowest-fit queries over a
-// graph; it avoids per-vertex allocations in the greedy inner loop.
+// graph; it avoids per-vertex allocations in the greedy inner loop. When
+// Stats is non-nil, every PlaceLowest records one placement and one probe
+// per neighbor interval examined.
 type FitScratch struct {
 	nbuf []int
 	occ  []Interval
+	// Stats is an optional sink for placement/probe counters.
+	Stats *Stats
 }
 
 // PlaceLowest computes the lowest feasible start for vertex v given the
@@ -53,6 +57,10 @@ func (s *FitScratch) PlaceLowest(g Graph, c Coloring, v int, skip int) int64 {
 			s.occ = append(s.occ, iv)
 		}
 	}
+	if s.Stats != nil {
+		s.Stats.AddPlacements(1)
+		s.Stats.AddProbes(int64(len(s.occ)))
+	}
 	return LowestFit(s.occ, g.Weight(v))
 }
 
@@ -63,12 +71,25 @@ func (s *FitScratch) PlaceLowest(g Graph, c Coloring, v int, skip int) int64 {
 //
 // Complexity O(E log E) over the whole graph (Section V-A).
 func GreedyColor(g Graph, order []int) (Coloring, error) {
+	return GreedyColorOpts(g, order, nil)
+}
+
+// GreedyColorOpts is GreedyColor threaded with SolveOptions: it polls
+// opts for cancellation every CtxCheckInterval placements (returning the
+// context's error with no coloring) and records placements and probes
+// into the stats sink. A nil opts behaves exactly like GreedyColor.
+func GreedyColorOpts(g Graph, order []int, opts *SolveOptions) (Coloring, error) {
 	if err := CheckPermutation(order, g.Len()); err != nil {
 		return Coloring{}, err
 	}
 	c := NewColoring(g.Len())
-	var s FitScratch
-	for _, v := range order {
+	s := FitScratch{Stats: opts.Sink()}
+	for i, v := range order {
+		if i%CtxCheckInterval == 0 {
+			if err := opts.Err(); err != nil {
+				return Coloring{}, err
+			}
+		}
 		c.Start[v] = s.PlaceLowest(g, c, v, -1)
 	}
 	return c, nil

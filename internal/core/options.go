@@ -1,0 +1,185 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SolveOptions carries the cross-cutting concerns of a solve: a
+// context.Context for cancellation, a parallelism knob for portfolio
+// runs, and an optional Stats sink. The zero value — and a nil pointer —
+// mean "background context, sequential, no stats", so every solver
+// accepts a nil *SolveOptions and never has to guard itself.
+//
+// Options are read-only during a solve and may be shared by concurrent
+// solver goroutines; Stats is internally synchronized.
+type SolveOptions struct {
+	// Ctx cancels a solve in flight. Long passes (the greedy engine, the
+	// BD/BDP row and recoloring loops) poll it at line/block granularity,
+	// so cancellation is honored promptly even on huge grids. A nil Ctx
+	// means context.Background().
+	Ctx context.Context
+	// Parallelism bounds the number of concurrent algorithm runs in a
+	// portfolio solve. Values < 2 (including the zero value) run
+	// sequentially. Individual algorithms are always single-threaded;
+	// parallelism never changes the result, only the wall time.
+	Parallelism int
+	// Stats, when non-nil, accumulates placement counts, probe counts,
+	// and per-phase wall times across the solve.
+	Stats *Stats
+}
+
+// Context returns the effective context: o.Ctx, or context.Background()
+// when o or o.Ctx is nil.
+func (o *SolveOptions) Context() context.Context {
+	if o == nil || o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
+// Err reports the context's cancellation state; nil receivers and nil
+// contexts are never canceled. Solvers call this from their inner loops.
+func (o *SolveOptions) Err() error {
+	if o == nil || o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
+}
+
+// Par returns the effective portfolio parallelism (always >= 1).
+func (o *SolveOptions) Par() int {
+	if o == nil || o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
+}
+
+// Sink returns the stats sink, or nil when no receiver or no sink is
+// configured. All Stats methods accept a nil receiver, so callers can
+// record unconditionally: opts.Sink().AddPhase(...).
+func (o *SolveOptions) Sink() *Stats {
+	if o == nil {
+		return nil
+	}
+	return o.Stats
+}
+
+// CtxCheckInterval is the granularity at which per-vertex solver loops
+// poll for cancellation: every this-many placements (roughly one grid
+// line). Block- and row-structured loops poll once per block or row
+// instead.
+const CtxCheckInterval = 1024
+
+// Stats accumulates counters describing the work a solve performed. All
+// methods are safe for concurrent use (portfolio runs share one sink
+// across goroutines) and accept a nil receiver as a no-op, so solver
+// code never branches on whether stats are enabled.
+type Stats struct {
+	placements atomic.Int64
+	probes     atomic.Int64
+
+	mu     sync.Mutex
+	phases map[string]*phaseAcc
+}
+
+type phaseAcc struct {
+	count   int64
+	elapsed time.Duration
+}
+
+// PhaseTime is the aggregated wall time of one named solver phase.
+type PhaseTime struct {
+	// Name identifies the phase, e.g. "solve:BDP" or "BDP/post".
+	Name string
+	// Count is the number of times the phase ran.
+	Count int64
+	// Elapsed is the total wall time across all runs.
+	Elapsed time.Duration
+}
+
+// AddPlacements records n vertex placements.
+func (s *Stats) AddPlacements(n int64) {
+	if s == nil {
+		return
+	}
+	s.placements.Add(n)
+}
+
+// AddProbes records n neighbor-interval probes (intervals examined by
+// the lowest-fit engine).
+func (s *Stats) AddProbes(n int64) {
+	if s == nil {
+		return
+	}
+	s.probes.Add(n)
+}
+
+// AddPhase accumulates d into the named phase's wall time.
+func (s *Stats) AddPhase(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.phases == nil {
+		s.phases = map[string]*phaseAcc{}
+	}
+	acc := s.phases[name]
+	if acc == nil {
+		acc = &phaseAcc{}
+		s.phases[name] = acc
+	}
+	acc.count++
+	acc.elapsed += d
+}
+
+// Placements returns the number of vertex placements recorded.
+func (s *Stats) Placements() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.placements.Load()
+}
+
+// Probes returns the number of neighbor-interval probes recorded.
+func (s *Stats) Probes() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.probes.Load()
+}
+
+// Phases returns the per-phase wall times sorted by name.
+func (s *Stats) Phases() []PhaseTime {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PhaseTime, 0, len(s.phases))
+	for name, acc := range s.phases {
+		out = append(out, PhaseTime{Name: name, Count: acc.count, Elapsed: acc.elapsed})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// String renders the stats as a compact single-report block.
+func (s *Stats) String() string {
+	if s == nil {
+		return "stats: (disabled)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "stats: placements=%d probes=%d", s.Placements(), s.Probes())
+	for _, p := range s.Phases() {
+		fmt.Fprintf(&b, "\n  phase %-16s runs=%-4d total=%.3fms",
+			p.Name, p.Count, float64(p.Elapsed.Microseconds())/1000)
+	}
+	return b.String()
+}

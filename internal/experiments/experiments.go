@@ -51,6 +51,9 @@ func Full() Options {
 // per-instance metadata shared by several figures.
 type RunResult struct {
 	Records []perfprof.Record
+	// Stats aggregates solver work (placements, probes, per-algorithm
+	// wall time) across the whole sweep; cmd/experiments reports it.
+	Stats *core.Stats
 	// LowerBound[instance] is the max-clique (K4/K8) lower bound.
 	LowerBound map[string]int64
 	// BestValue[instance] is the best maxcolor across algorithms.
@@ -86,7 +89,7 @@ func Run2DSuite(opts Options) (*RunResult, error) {
 		res.Grids[label] = g
 		for _, alg := range heuristics.All() {
 			t0 := time.Now()
-			c, err := heuristics.Run2D(alg, g)
+			c, err := heuristics.Run(alg, g, res.solveOpts())
 			dt := time.Since(t0).Seconds()
 			if err != nil {
 				return nil, err
@@ -122,7 +125,7 @@ func Run3DSuite(opts Options) (*RunResult, error) {
 		res.Grids[label] = g
 		for _, alg := range heuristics.All() {
 			t0 := time.Now()
-			c, err := heuristics.Run3D(alg, g)
+			c, err := heuristics.Run(alg, g, res.solveOpts())
 			dt := time.Since(t0).Seconds()
 			if err != nil {
 				return nil, err
@@ -138,12 +141,20 @@ func Run3DSuite(opts Options) (*RunResult, error) {
 
 func newRunResult() *RunResult {
 	return &RunResult{
+		Stats:      &core.Stats{},
 		LowerBound: map[string]int64{},
 		BestValue:  map[string]int64{},
 		Dataset:    map[string]string{},
 		Vertices:   map[string]int{},
 		Grids:      map[string]core.Graph{},
 	}
+}
+
+// solveOpts returns the options every suite solve runs under: no
+// cancellation, sequential (per-algorithm runtimes stay comparable to
+// the paper's single-threaded measurements), sweeping stats into r.Stats.
+func (r *RunResult) solveOpts() *core.SolveOptions {
+	return &core.SolveOptions{Stats: r.Stats}
 }
 
 func (r *RunResult) add(instance, alg string, value int64, runtime float64) {

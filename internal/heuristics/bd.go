@@ -1,12 +1,45 @@
 package heuristics
 
 import (
+	"fmt"
 	"sort"
+	"time"
 
 	"stencilivc/internal/core"
 	"stencilivc/internal/grid"
 	"stencilivc/internal/special"
 )
+
+func init() {
+	MustRegister(Descriptor{
+		Name: BD, Dims: DimBoth, Paper: true, Order: 6,
+		Fn: func(s grid.Stencil, opts *core.SolveOptions) (core.Coloring, error) {
+			switch g := s.(type) {
+			case *grid.Grid2D:
+				c, _, err := BipartiteDecomposition2DOpts(g, opts)
+				return c, err
+			case *grid.Grid3D:
+				c, _, err := BipartiteDecomposition3DOpts(g, opts)
+				return c, err
+			}
+			return core.Coloring{}, fmt.Errorf("BD: unsupported stencil type %T", s)
+		},
+	})
+	MustRegister(Descriptor{
+		Name: BDP, Dims: DimBoth, Paper: true, Order: 7,
+		Fn: func(s grid.Stencil, opts *core.SolveOptions) (core.Coloring, error) {
+			switch g := s.(type) {
+			case *grid.Grid2D:
+				c, _, err := BipartiteDecompositionPost2DOpts(g, opts)
+				return c, err
+			case *grid.Grid3D:
+				c, _, err := BipartiteDecompositionPost3DOpts(g, opts)
+				return c, err
+			}
+			return core.Coloring{}, fmt.Errorf("BDP: unsupported stencil type %T", s)
+		},
+	})
+}
 
 // BipartiteDecomposition2D is BD (Section V-B), a 2-approximation for
 // 2DS-IVC. Each row — a chain, hence bipartite — is colored optimally with
@@ -17,15 +50,28 @@ import (
 //
 // The second return value is RC, the proven lower bound.
 func BipartiteDecomposition2D(g *grid.Grid2D) (core.Coloring, int64) {
+	c, rc, _ := BipartiteDecomposition2DOpts(g, nil) // cannot fail without a context
+	return c, rc
+}
+
+// BipartiteDecomposition2DOpts is BipartiteDecomposition2D threaded with
+// SolveOptions: the pass polls for cancellation once per row and records
+// placements into the stats sink, returning the context's error (and no
+// coloring) if the solve is abandoned mid-decomposition.
+func BipartiteDecomposition2DOpts(g *grid.Grid2D, opts *core.SolveOptions) (core.Coloring, int64, error) {
 	c := core.NewColoring(g.Len())
 	var rc int64
 	for j := 0; j < g.Y; j++ {
+		if err := opts.Err(); err != nil {
+			return core.Coloring{}, 0, err
+		}
 		starts, rowMC := special.ColorChain(g.Row(j))
 		rc = max(rc, rowMC)
 		for i := 0; i < g.X; i++ {
 			c.Start[g.ID(i, j)] = starts[i]
 		}
 	}
+	opts.Sink().AddPlacements(int64(g.Len()))
 	// Each row's colors live in [0, its own maxcolor) ⊆ [0, RC); lifting
 	// odd rows by RC separates every cross-row conflict (rows two apart
 	// are non-adjacent in the 9-pt stencil).
@@ -34,7 +80,7 @@ func BipartiteDecomposition2D(g *grid.Grid2D) (core.Coloring, int64) {
 			c.Start[g.ID(i, j)] += rc
 		}
 	}
-	return c, rc
+	return c, rc, nil
 }
 
 // BipartiteDecomposition3D is BD for 3DS-IVC, a 4-approximation
@@ -44,12 +90,22 @@ func BipartiteDecomposition2D(g *grid.Grid2D) (core.Coloring, int64) {
 // lifted by LC. The second return value is the best per-layer RC, a valid
 // lower bound on the 3D optimum.
 func BipartiteDecomposition3D(g *grid.Grid3D) (core.Coloring, int64) {
+	c, lb, _ := BipartiteDecomposition3DOpts(g, nil)
+	return c, lb
+}
+
+// BipartiteDecomposition3DOpts is BipartiteDecomposition3D with options;
+// cancellation is polled per layer (and per row inside each layer).
+func BipartiteDecomposition3DOpts(g *grid.Grid3D, opts *core.SolveOptions) (core.Coloring, int64, error) {
 	c := core.NewColoring(g.Len())
 	var lc, lb int64
 	layerCol := make([]core.Coloring, g.Z)
 	for k := 0; k < g.Z; k++ {
 		layer := g.Layer(k)
-		lcol, rc := BipartiteDecomposition2D(layer)
+		lcol, rc, err := BipartiteDecomposition2DOpts(layer, opts)
+		if err != nil {
+			return core.Coloring{}, 0, err
+		}
 		layerCol[k] = lcol
 		lb = max(lb, rc)
 		lc = max(lc, lcol.MaxColor(layer))
@@ -64,7 +120,7 @@ func BipartiteDecomposition3D(g *grid.Grid3D) (core.Coloring, int64) {
 			c.Start[base+v] = s + lift
 		}
 	}
-	return c, lb
+	return c, lb, nil
 }
 
 // postOrder builds BDP's recoloring order (Section V-B): vertices are
@@ -103,26 +159,67 @@ func postOrder(g core.Graph, c core.Coloring, blocks []grid.Block) []int {
 // recolor compacts a complete valid coloring in place: each vertex in
 // order is lifted out and re-placed at its lowest feasible start. Because
 // the vertex's old start remains feasible, starts never increase, so the
-// result is valid with maxcolor no larger than the input's.
-func recolor(g core.Graph, c core.Coloring, order []int) {
-	var s core.FitScratch
-	for _, v := range order {
+// result is valid with maxcolor no larger than the input's. Cancellation
+// is polled every core.CtxCheckInterval vertices; on cancellation the
+// coloring may be left partially compacted but is abandoned by callers.
+func recolor(g core.Graph, c core.Coloring, order []int, opts *core.SolveOptions) error {
+	s := core.FitScratch{Stats: opts.Sink()}
+	for i, v := range order {
+		if i%core.CtxCheckInterval == 0 {
+			if err := opts.Err(); err != nil {
+				return err
+			}
+		}
 		c.Start[v] = core.Unset
 		c.Start[v] = s.PlaceLowest(g, c, v, -1)
 	}
+	return nil
 }
 
 // BipartiteDecompositionPost2D is BDP in 2D: BD followed by the greedy
 // recoloring pass. The returned bound is BD's RC.
 func BipartiteDecompositionPost2D(g *grid.Grid2D) (core.Coloring, int64) {
-	c, rc := BipartiteDecomposition2D(g)
-	recolor(g, c, postOrder(g, c, blocksOf2D(g)))
+	c, rc, _ := BipartiteDecompositionPost2DOpts(g, nil)
 	return c, rc
+}
+
+// BipartiteDecompositionPost2DOpts is BDP in 2D with options; the
+// decompose and post phases are timed separately in the stats sink.
+func BipartiteDecompositionPost2DOpts(g *grid.Grid2D, opts *core.SolveOptions) (core.Coloring, int64, error) {
+	t0 := time.Now()
+	c, rc, err := BipartiteDecomposition2DOpts(g, opts)
+	opts.Sink().AddPhase("BDP/decompose", time.Since(t0))
+	if err != nil {
+		return core.Coloring{}, 0, err
+	}
+	t1 := time.Now()
+	err = recolor(g, c, postOrder(g, c, g.CliqueBlocks()), opts)
+	opts.Sink().AddPhase("BDP/post", time.Since(t1))
+	if err != nil {
+		return core.Coloring{}, 0, err
+	}
+	return c, rc, nil
 }
 
 // BipartiteDecompositionPost3D is BDP in 3D.
 func BipartiteDecompositionPost3D(g *grid.Grid3D) (core.Coloring, int64) {
-	c, lb := BipartiteDecomposition3D(g)
-	recolor(g, c, postOrder(g, c, blocksOf3D(g)))
+	c, lb, _ := BipartiteDecompositionPost3DOpts(g, nil)
 	return c, lb
+}
+
+// BipartiteDecompositionPost3DOpts is BDP in 3D with options.
+func BipartiteDecompositionPost3DOpts(g *grid.Grid3D, opts *core.SolveOptions) (core.Coloring, int64, error) {
+	t0 := time.Now()
+	c, lb, err := BipartiteDecomposition3DOpts(g, opts)
+	opts.Sink().AddPhase("BDP/decompose", time.Since(t0))
+	if err != nil {
+		return core.Coloring{}, 0, err
+	}
+	t1 := time.Now()
+	err = recolor(g, c, postOrder(g, c, g.CliqueBlocks()), opts)
+	opts.Sink().AddPhase("BDP/post", time.Since(t1))
+	if err != nil {
+		return core.Coloring{}, 0, err
+	}
+	return c, lb, nil
 }

@@ -5,73 +5,47 @@ import (
 	"stencilivc/internal/grid"
 )
 
-// blocksOf2D returns the clique blocks driving GKF/SGK on a 2D grid: the
-// K4 blocks when both dimensions exceed 1, otherwise the edge pairs of the
-// degenerate chain (so the algorithms remain defined on 1×N instances even
-// though the paper assumes X,Y > 1).
-func blocksOf2D(g *grid.Grid2D) []grid.Block {
-	if b := grid.Blocks2D(g); len(b) > 0 {
-		return b
-	}
-	ids := make([]int, g.Len())
-	for i := range ids {
-		ids[i] = i
-	}
-	if g.Len() == 1 {
-		return []grid.Block{{Vertices: []int{0}, Weight: g.W[0]}}
-	}
-	return grid.PairBlocks(g.W, ids)
+func init() {
+	MustRegister(Descriptor{
+		Name: GKF, Dims: DimBoth, Paper: true, Order: 4,
+		Fn: func(s grid.Stencil, opts *core.SolveOptions) (core.Coloring, error) {
+			return greedyBlocksFirst(s, s.CliqueBlocks(), opts)
+		},
+	})
+	MustRegister(Descriptor{
+		Name: SGK, Dims: DimBoth, Paper: true, Order: 5,
+		Fn: func(s grid.Stencil, opts *core.SolveOptions) (core.Coloring, error) {
+			// SGK's block-internal search differs per dimension: in 2D all
+			// <= 4! permutations are tried, in 3D the paper's weight-sorted
+			// shortcut replaces the infeasible 8! search.
+			if s.Dims() == 2 {
+				return smartBlocksPermuted(s, s.CliqueBlocks(), opts)
+			}
+			return smartBlocksSorted(s, s.CliqueBlocks(), opts)
+		},
+	})
 }
 
-// blocksOf3D is blocksOf2D for 3D grids; a grid with a unit dimension
-// falls back to the K4 blocks of its plane, and a doubly-degenerate grid
-// to chain pairs.
-func blocksOf3D(g *grid.Grid3D) []grid.Block {
-	if b := grid.Blocks3D(g); len(b) > 0 {
-		return b
-	}
-	// One unit dimension: reuse the 2D blocks of the flattened plane.
-	// Vertex ids coincide because the unit dimension contributes factor 1
-	// only when it is the z (outermost) axis; handle the general case by
-	// constructing pair blocks over the x-fastest order otherwise.
-	if g.Z == 1 {
-		flat := &grid.Grid2D{X: g.X, Y: g.Y, W: g.W}
-		if b := grid.Blocks2D(flat); len(b) > 0 {
-			return b
-		}
-	}
-	if g.Y == 1 && g.Z > 1 && g.X > 1 {
-		flat := &grid.Grid2D{X: g.X, Y: g.Z, W: g.W}
-		if b := grid.Blocks2D(flat); len(b) > 0 {
-			return b
-		}
-	}
-	if g.X == 1 && g.Y > 1 && g.Z > 1 {
-		flat := &grid.Grid2D{X: g.Y, Y: g.Z, W: g.W}
-		if b := grid.Blocks2D(flat); len(b) > 0 {
-			return b
-		}
-	}
-	ids := make([]int, g.Len())
-	for i := range ids {
-		ids[i] = i
-	}
-	if g.Len() == 1 {
-		return []grid.Block{{Vertices: []int{0}, Weight: g.W[0]}}
-	}
-	return grid.PairBlocks(g.W, ids)
-}
+// ctxEveryBlocks is how many clique blocks the block-driven heuristics
+// process between cancellation polls; a block holds at most 8 vertices,
+// so this is finer-grained than core.CtxCheckInterval placements.
+const ctxEveryBlocks = 256
 
 // greedyBlocksFirst is GKF's engine: visit blocks in non-increasing total
 // weight, greedily coloring each block's still-uncolored vertices in their
 // stored (anchor) order. Vertices already colored through an earlier block
 // are left untouched (Section V-A).
-func greedyBlocksFirst(g core.Graph, blocks []grid.Block) core.Coloring {
+func greedyBlocksFirst(g core.Graph, blocks []grid.Block, opts *core.SolveOptions) (core.Coloring, error) {
 	sorted := append([]grid.Block{}, blocks...)
 	grid.SortBlocksByWeightDesc(sorted)
 	c := core.NewColoring(g.Len())
-	var s core.FitScratch
-	for _, b := range sorted {
+	s := core.FitScratch{Stats: opts.Sink()}
+	for bi, b := range sorted {
+		if bi%ctxEveryBlocks == 0 {
+			if err := opts.Err(); err != nil {
+				return core.Coloring{}, err
+			}
+		}
 		for _, v := range b.Vertices {
 			if !c.Colored(v) {
 				c.Start[v] = s.PlaceLowest(g, c, v, -1)
@@ -80,35 +54,62 @@ func greedyBlocksFirst(g core.Graph, blocks []grid.Block) core.Coloring {
 	}
 	// Blocks cover every vertex on all supported grids, but guard anyway:
 	// any straggler is colored greedily.
+	if err := colorStragglers(g, c, &s, opts); err != nil {
+		return core.Coloring{}, err
+	}
+	return c, nil
+}
+
+// colorStragglers greedily colors any vertex the block sweep missed.
+func colorStragglers(g core.Graph, c core.Coloring, s *core.FitScratch, opts *core.SolveOptions) error {
 	for v := 0; v < g.Len(); v++ {
+		if v%core.CtxCheckInterval == 0 {
+			if err := opts.Err(); err != nil {
+				return err
+			}
+		}
 		if !c.Colored(v) {
 			c.Start[v] = s.PlaceLowest(g, c, v, -1)
 		}
 	}
-	return c
+	return nil
 }
 
 // LargestCliqueFirst2D is GKF on a 9-pt stencil.
 func LargestCliqueFirst2D(g *grid.Grid2D) core.Coloring {
-	return greedyBlocksFirst(g, blocksOf2D(g))
+	return mustBlocks(greedyBlocksFirst(g, g.CliqueBlocks(), nil))
 }
 
 // LargestCliqueFirst3D is GKF on a 27-pt stencil.
 func LargestCliqueFirst3D(g *grid.Grid3D) core.Coloring {
-	return greedyBlocksFirst(g, blocksOf3D(g))
+	return mustBlocks(greedyBlocksFirst(g, g.CliqueBlocks(), nil))
 }
 
-// SmartLargestCliqueFirst2D is SGK in 2D: like GKF, but for each block all
+// mustBlocks unwraps a block-engine result run without options; with no
+// context to cancel, an error is a programming error.
+func mustBlocks(c core.Coloring, err error) core.Coloring {
+	if err != nil {
+		panic("heuristics: block engine failed without a context: " + err.Error())
+	}
+	return c
+}
+
+// smartBlocksPermuted is SGK's 2D engine: like GKF, but for each block all
 // permutations of its uncolored vertices (at most 4! = 24) are tried and
 // the one minimizing the block's local maxcolor is committed
 // (Section V-A).
-func SmartLargestCliqueFirst2D(g *grid.Grid2D) core.Coloring {
-	blocks := append([]grid.Block{}, blocksOf2D(g)...)
-	grid.SortBlocksByWeightDesc(blocks)
+func smartBlocksPermuted(g core.Graph, blocks []grid.Block, opts *core.SolveOptions) (core.Coloring, error) {
+	sorted := append([]grid.Block{}, blocks...)
+	grid.SortBlocksByWeightDesc(sorted)
 	c := core.NewColoring(g.Len())
-	var s core.FitScratch
+	s := core.FitScratch{Stats: opts.Sink()}
 	var uncolored []int
-	for _, b := range blocks {
+	for bi, b := range sorted {
+		if bi%ctxEveryBlocks == 0 {
+			if err := opts.Err(); err != nil {
+				return core.Coloring{}, err
+			}
+		}
 		uncolored = uncolored[:0]
 		for _, v := range b.Vertices {
 			if !c.Colored(v) {
@@ -123,12 +124,15 @@ func SmartLargestCliqueFirst2D(g *grid.Grid2D) core.Coloring {
 			c.Start[v] = bestPerm[i]
 		}
 	}
-	for v := 0; v < g.Len(); v++ {
-		if !c.Colored(v) {
-			c.Start[v] = s.PlaceLowest(g, c, v, -1)
-		}
+	if err := colorStragglers(g, c, &s, opts); err != nil {
+		return core.Coloring{}, err
 	}
-	return c
+	return c, nil
+}
+
+// SmartLargestCliqueFirst2D is SGK in 2D.
+func SmartLargestCliqueFirst2D(g *grid.Grid2D) core.Coloring {
+	return mustBlocks(smartBlocksPermuted(g, g.CliqueBlocks(), nil))
 }
 
 // commitBestPermutation tries every placement order of the uncolored
@@ -177,16 +181,21 @@ func commitBestPermutation(g core.Graph, c core.Coloring, s *core.FitScratch,
 	return bestStarts
 }
 
-// SmartLargestCliqueFirst3D is SGK in 3D. Trying all 8! = 40320 orders per
+// smartBlocksSorted is SGK's 3D engine. Trying all 8! = 40320 orders per
 // K8 was too slow even for the paper; as the authors did, each block's
 // uncolored vertices are instead colored in non-increasing weight order.
-func SmartLargestCliqueFirst3D(g *grid.Grid3D) core.Coloring {
-	blocks := append([]grid.Block{}, blocksOf3D(g)...)
-	grid.SortBlocksByWeightDesc(blocks)
+func smartBlocksSorted(g core.Graph, blocks []grid.Block, opts *core.SolveOptions) (core.Coloring, error) {
+	sorted := append([]grid.Block{}, blocks...)
+	grid.SortBlocksByWeightDesc(sorted)
 	c := core.NewColoring(g.Len())
-	var s core.FitScratch
+	s := core.FitScratch{Stats: opts.Sink()}
 	var uncolored []int
-	for _, b := range blocks {
+	for bi, b := range sorted {
+		if bi%ctxEveryBlocks == 0 {
+			if err := opts.Err(); err != nil {
+				return core.Coloring{}, err
+			}
+		}
 		uncolored = uncolored[:0]
 		for _, v := range b.Vertices {
 			if !c.Colored(v) {
@@ -208,10 +217,13 @@ func SmartLargestCliqueFirst3D(g *grid.Grid3D) core.Coloring {
 			c.Start[v] = s.PlaceLowest(g, c, v, -1)
 		}
 	}
-	for v := 0; v < g.Len(); v++ {
-		if !c.Colored(v) {
-			c.Start[v] = s.PlaceLowest(g, c, v, -1)
-		}
+	if err := colorStragglers(g, c, &s, opts); err != nil {
+		return core.Coloring{}, err
 	}
-	return c
+	return c, nil
+}
+
+// SmartLargestCliqueFirst3D is SGK in 3D (weight-sorted block order).
+func SmartLargestCliqueFirst3D(g *grid.Grid3D) core.Coloring {
+	return mustBlocks(smartBlocksSorted(g, g.CliqueBlocks(), nil))
 }

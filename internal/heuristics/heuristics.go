@@ -6,10 +6,16 @@
 // Every function returns a complete, valid coloring; validity is enforced
 // by construction (each placement uses the lowest-fit engine against all
 // colored neighbors) and re-verified by property tests.
+//
+// Dispatch is registry-based: each algorithm self-registers a Descriptor
+// from init() in the file that implements it, and Run / Run2D / Run3D,
+// All(), and the Portfolio runner all consult that one table. Solvers
+// accept a *core.SolveOptions carrying a context (polled at line/block
+// granularity, so huge grids are cancellable), a parallelism knob for
+// portfolio runs, and a stats sink.
 package heuristics
 
 import (
-	"fmt"
 	"sort"
 
 	"stencilivc/internal/core"
@@ -30,64 +36,30 @@ const (
 	BDP Algorithm = "BDP" // Bipartite Decomposition + Post optimization
 
 	// BDL is an extension beyond the paper (see LayeredBDP3D): per-layer
-	// BDP with a global post pass. 3D only; excluded from All() so the
-	// evaluation matrix stays the paper's seven algorithms.
+	// BDP with a global post pass. 3D only; registered with Paper=false so
+	// the All() evaluation matrix stays the paper's seven algorithms.
 	BDL Algorithm = "BDL"
 )
 
-// All returns the algorithms in the paper's presentation order.
-func All() []Algorithm {
-	return []Algorithm{GLL, GZO, GLF, GKF, SGK, BD, BDP}
-}
-
-// Run2D executes the named algorithm on a 9-pt stencil instance.
-func Run2D(alg Algorithm, g *grid.Grid2D) (core.Coloring, error) {
-	switch alg {
-	case GLL:
-		return mustGreedy(g, grid.LineByLine2D(g)), nil
-	case GZO:
-		return mustGreedy(g, grid.ZOrder2D(g)), nil
-	case GLF:
-		return LargestFirst(g), nil
-	case GKF:
-		return LargestCliqueFirst2D(g), nil
-	case SGK:
-		return SmartLargestCliqueFirst2D(g), nil
-	case BD:
-		c, _ := BipartiteDecomposition2D(g)
-		return c, nil
-	case BDP:
-		c, _ := BipartiteDecompositionPost2D(g)
-		return c, nil
-	default:
-		return core.Coloring{}, fmt.Errorf("heuristics: unknown algorithm %q", alg)
-	}
-}
-
-// Run3D executes the named algorithm on a 27-pt stencil instance.
-func Run3D(alg Algorithm, g *grid.Grid3D) (core.Coloring, error) {
-	switch alg {
-	case GLL:
-		return mustGreedy(g, grid.LineByLine3D(g)), nil
-	case GZO:
-		return mustGreedy(g, grid.ZOrder3D(g)), nil
-	case GLF:
-		return LargestFirst(g), nil
-	case GKF:
-		return LargestCliqueFirst3D(g), nil
-	case SGK:
-		return SmartLargestCliqueFirst3D(g), nil
-	case BD:
-		c, _ := BipartiteDecomposition3D(g)
-		return c, nil
-	case BDP:
-		c, _ := BipartiteDecompositionPost3D(g)
-		return c, nil
-	case BDL:
-		return LayeredBDP3D(g), nil
-	default:
-		return core.Coloring{}, fmt.Errorf("heuristics: unknown algorithm %q", alg)
-	}
+func init() {
+	MustRegister(Descriptor{
+		Name: GLL, Dims: DimBoth, Paper: true, Order: 1,
+		Fn: func(s grid.Stencil, opts *core.SolveOptions) (core.Coloring, error) {
+			return core.GreedyColorOpts(s, s.LineOrder(), opts)
+		},
+	})
+	MustRegister(Descriptor{
+		Name: GZO, Dims: DimBoth, Paper: true, Order: 2,
+		Fn: func(s grid.Stencil, opts *core.SolveOptions) (core.Coloring, error) {
+			return core.GreedyColorOpts(s, s.ZOrder(), opts)
+		},
+	})
+	MustRegister(Descriptor{
+		Name: GLF, Dims: DimBoth, Paper: true, Order: 3,
+		Fn: func(s grid.Stencil, opts *core.SolveOptions) (core.Coloring, error) {
+			return core.GreedyColorOpts(s, WeightDescOrder(s), opts)
+		},
+	})
 }
 
 // mustGreedy runs the greedy engine with an order we constructed
@@ -104,18 +76,12 @@ func mustGreedy(g core.Graph, order []int) core.Coloring {
 // LargestFirst is GLF: greedy over vertices sorted by non-increasing
 // weight (ties by vertex id for determinism). Works on any graph.
 func LargestFirst(g core.Graph) core.Coloring {
-	order := make([]int, g.Len())
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return g.Weight(order[a]) > g.Weight(order[b])
-	})
-	return mustGreedy(g, order)
+	return mustGreedy(g, WeightDescOrder(g))
 }
 
-// WeightDescOrder returns the GLF vertex order without coloring; exposed
-// for the exact solvers and experiment harness.
+// WeightDescOrder returns the GLF vertex order — non-increasing weight,
+// ties by vertex id — without coloring; it is the single comparator
+// shared by LargestFirst, the exact solvers, and the experiment harness.
 func WeightDescOrder(g core.Graph) []int {
 	order := make([]int, g.Len())
 	for i := range order {

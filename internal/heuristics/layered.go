@@ -5,6 +5,19 @@ import (
 	"stencilivc/internal/grid"
 )
 
+func init() {
+	MustRegister(Descriptor{
+		// BDL sits after the paper's seven (Order 8) and outside the paper
+		// set, so All() and the evaluation matrix never pick it up; the
+		// registry still dispatches it by name and rejects 2D instances
+		// through the dimension mask.
+		Name: BDL, Dims: Dim3D, Paper: false, Order: 8,
+		Fn: func(s grid.Stencil, opts *core.SolveOptions) (core.Coloring, error) {
+			return LayeredBDP3DOpts(s.(*grid.Grid3D), opts)
+		},
+	})
+}
+
 // LayeredBDP3D is an extension beyond the paper addressing its closing
 // question ("can we design approximation algorithms for coloring 27-pt
 // stencils with a ratio better than 4?") on the practical side: instead
@@ -18,12 +31,25 @@ import (
 // BD's — the recoloring passes never increase maxcolor — which is exactly
 // the gap the open question is about.
 func LayeredBDP3D(g *grid.Grid3D) core.Coloring {
+	c, err := LayeredBDP3DOpts(g, nil)
+	if err != nil {
+		panic("heuristics: BDL failed without a context: " + err.Error())
+	}
+	return c
+}
+
+// LayeredBDP3DOpts is LayeredBDP3D with options; cancellation is polled
+// per layer and inside every recoloring pass.
+func LayeredBDP3DOpts(g *grid.Grid3D, opts *core.SolveOptions) (core.Coloring, error) {
 	c := core.NewColoring(g.Len())
 	var lc int64
 	layerCol := make([]core.Coloring, g.Z)
 	for k := 0; k < g.Z; k++ {
 		layer := g.Layer(k)
-		lcol, _ := BipartiteDecompositionPost2D(layer)
+		lcol, _, err := BipartiteDecompositionPost2DOpts(layer, opts)
+		if err != nil {
+			return core.Coloring{}, err
+		}
 		layerCol[k] = lcol
 		lc = max(lc, lcol.MaxColor(layer))
 	}
@@ -37,6 +63,8 @@ func LayeredBDP3D(g *grid.Grid3D) core.Coloring {
 			c.Start[base+v] = s + lift
 		}
 	}
-	recolor(g, c, postOrder(g, c, blocksOf3D(g)))
-	return c
+	if err := recolor(g, c, postOrder(g, c, g.CliqueBlocks()), opts); err != nil {
+		return core.Coloring{}, err
+	}
+	return c, nil
 }

@@ -1,0 +1,70 @@
+package heuristics
+
+import (
+	"fmt"
+	"sync"
+
+	"stencilivc/internal/core"
+	"stencilivc/internal/grid"
+)
+
+// Portfolio runs the given algorithms on one stencil instance and returns
+// the best coloring — lowest maxcolor, ties broken by position in algs
+// (callers passing All() therefore tie-break in paper order). It replaces
+// the copy-pasted Best2D/Best3D loops with one dimension-generic runner.
+//
+// When opts.Parallelism > 1 the algorithms run concurrently on up to that
+// many goroutines. Every algorithm is deterministic and the reduction
+// scans results in slice order, so the outcome is byte-identical to the
+// sequential run; parallelism only changes the wall time. Any algorithm
+// error (unknown name, dimension mismatch, cancellation, failed
+// decomposition) aborts the portfolio; the error of the earliest failing
+// slice position is returned so concurrent failures stay deterministic.
+func Portfolio(s grid.Stencil, algs []Algorithm, opts *core.SolveOptions) (core.Coloring, Algorithm, error) {
+	if len(algs) == 0 {
+		return core.Coloring{}, "", fmt.Errorf("heuristics: empty portfolio")
+	}
+	type result struct {
+		c   core.Coloring
+		err error
+	}
+	results := make([]result, len(algs))
+	if par := min(opts.Par(), len(algs)); par <= 1 {
+		for i, alg := range algs {
+			results[i].c, results[i].err = Run(alg, s, opts)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i].c, results[i].err = Run(algs[i], s, opts)
+				}
+			}()
+		}
+		for i := range algs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	best, bestAlg, bestVal := core.Coloring{}, Algorithm(""), int64(-1)
+	for i, r := range results {
+		if r.err != nil {
+			return core.Coloring{}, "", r.err
+		}
+		if mc := r.c.MaxColor(s); bestVal < 0 || mc < bestVal {
+			best, bestAlg, bestVal = r.c, algs[i], mc
+		}
+	}
+	return best, bestAlg, nil
+}
+
+// Best runs the paper's full algorithm portfolio (All()) on s and returns
+// the winning coloring and algorithm.
+func Best(s grid.Stencil, opts *core.SolveOptions) (core.Coloring, Algorithm, error) {
+	return Portfolio(s, All(), opts)
+}

@@ -1,0 +1,117 @@
+package heuristics
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"stencilivc/internal/core"
+	"stencilivc/internal/grid"
+)
+
+// TestPortfolioParallelMatchesSequential is the determinism contract of
+// the parallel portfolio: for Parallelism in {2, 4, 8}, the winning
+// algorithm and the coloring are byte-identical to the sequential run.
+// Running under `go test -race` (make check) also exercises the
+// concurrent paths for data races, including the shared stats sink.
+func TestPortfolioParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	instances := []grid.Stencil{
+		random2D(rng, 24, 24, 9),
+		random2D(rng, 1, 40, 5),
+		random3D(rng, 6, 6, 6, 9),
+		random3D(rng, 1, 8, 8, 7),
+	}
+	for _, s := range instances {
+		seqC, seqAlg, err := Portfolio(s, All(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 4, 8} {
+			var stats core.Stats
+			opts := &core.SolveOptions{Parallelism: par, Stats: &stats}
+			parC, parAlg, err := Portfolio(s, All(), opts)
+			if err != nil {
+				t.Fatalf("par=%d: %v", par, err)
+			}
+			if parAlg != seqAlg {
+				t.Errorf("par=%d winner %s, sequential winner %s", par, parAlg, seqAlg)
+			}
+			if !reflect.DeepEqual(parC.Start, seqC.Start) {
+				t.Errorf("par=%d coloring differs from sequential run", par)
+			}
+			if stats.Placements() == 0 {
+				t.Errorf("par=%d: shared stats sink recorded no placements", par)
+			}
+		}
+	}
+}
+
+// TestPortfolioTieBreakPaperOrder: on an all-equal-weight instance many
+// algorithms tie on maxcolor; the winner must be the earliest in paper
+// order (GLL), in both sequential and parallel runs.
+func TestPortfolioTieBreakPaperOrder(t *testing.T) {
+	g := grid.MustGrid2D(6, 6) // all-zero weights: every algorithm scores 0
+	for _, par := range []int{1, 4} {
+		_, alg, err := Portfolio(g, All(), &core.SolveOptions{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alg != GLL {
+			t.Errorf("par=%d: tie broke to %s, want GLL (paper order)", par, alg)
+		}
+	}
+}
+
+// TestPortfolioErrors: empty portfolios and member errors abort the run
+// deterministically.
+func TestPortfolioErrors(t *testing.T) {
+	g2 := grid.MustGrid2D(4, 4)
+	if _, _, err := Portfolio(g2, nil, nil); err == nil {
+		t.Error("empty portfolio must error")
+	}
+	// BDL cannot run on a 2D instance: the portfolio must fail, not skip.
+	for _, par := range []int{1, 4} {
+		_, _, err := Portfolio(g2, []Algorithm{GLL, BDL, BDP}, &core.SolveOptions{Parallelism: par})
+		if err == nil {
+			t.Errorf("par=%d: portfolio with a dimension-mismatched member must error", par)
+		}
+	}
+	// A canceled context fails every member; the earliest slice position's
+	// error surfaces.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := Portfolio(g2, All(), &core.SolveOptions{Ctx: ctx, Parallelism: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled portfolio: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestBestMatchesMinimum: Best agrees with the minimum over individual
+// runs (the old Best2D/Best3D loop semantics).
+func TestBestMatchesMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := random3D(rng, 4, 5, 3, 9)
+	best, alg, err := Best(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minVal := int64(-1)
+	for _, a := range All() {
+		c, err := Run(a, g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc := c.MaxColor(g); minVal < 0 || mc < minVal {
+			minVal = mc
+		}
+	}
+	if got := best.MaxColor(g); got != minVal {
+		t.Errorf("Best = %d via %s, want minimum %d", got, alg, minVal)
+	}
+	if err := best.Validate(g); err != nil {
+		t.Errorf("Best coloring invalid: %v", err)
+	}
+}

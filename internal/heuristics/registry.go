@@ -1,0 +1,186 @@
+package heuristics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"stencilivc/internal/core"
+	"stencilivc/internal/grid"
+)
+
+// DimMask says which grid dimensionalities an algorithm accepts.
+type DimMask uint8
+
+// The dimensionality bits.
+const (
+	Dim2D DimMask = 1 << iota // 9-pt stencils
+	Dim3D                     // 27-pt stencils
+
+	DimBoth = Dim2D | Dim3D
+)
+
+// Has reports whether the mask covers dims-dimensional instances.
+func (m DimMask) Has(dims int) bool {
+	switch dims {
+	case 2:
+		return m&Dim2D != 0
+	case 3:
+		return m&Dim3D != 0
+	}
+	return false
+}
+
+// String renders the mask as "2D", "3D", or "2D/3D".
+func (m DimMask) String() string {
+	switch m {
+	case Dim2D:
+		return "2D"
+	case Dim3D:
+		return "3D"
+	case DimBoth:
+		return "2D/3D"
+	}
+	return fmt.Sprintf("DimMask(%d)", uint8(m))
+}
+
+// SolveFunc is the uniform signature every registered algorithm exposes:
+// a dimension-generic stencil instance plus the solve options (context,
+// stats). Implementations type-switch to *grid.Grid2D / *grid.Grid3D when
+// they are structurally per-dimension (BD's rows, BDL's layers) and are
+// only ever called with an instance their DimMask accepts.
+type SolveFunc func(s grid.Stencil, opts *core.SolveOptions) (core.Coloring, error)
+
+// Descriptor is one registry entry: a named algorithm, the dimensions it
+// supports, whether it belongs to the paper's seven-algorithm evaluation
+// set, its position in the paper's presentation order, and its solver.
+type Descriptor struct {
+	// Name is the registry key.
+	Name Algorithm
+	// Dims is the set of supported dimensionalities.
+	Dims DimMask
+	// Paper marks the algorithms of the paper's evaluation matrix; All()
+	// returns exactly these. Extensions (BDL) register with Paper=false.
+	Paper bool
+	// Order sorts the paper set into the paper's presentation order and
+	// breaks portfolio ties deterministically; lower runs/wins first.
+	Order int
+	// Fn runs the algorithm.
+	Fn SolveFunc
+}
+
+// registry is the process-wide algorithm table. Algorithms self-register
+// from init() in the file that implements them, so the table — not a
+// switch statement — is the single source of dispatch truth for Run2D,
+// Run3D, All(), the portfolio runner, and the cmd tools.
+var registry = struct {
+	mu     sync.RWMutex
+	byName map[Algorithm]Descriptor
+}{byName: map[Algorithm]Descriptor{}}
+
+// Register adds an algorithm to the registry. It rejects empty names,
+// nil solvers, empty dimension masks, and duplicate names.
+func Register(d Descriptor) error {
+	if d.Name == "" {
+		return fmt.Errorf("heuristics: register: empty algorithm name")
+	}
+	if d.Fn == nil {
+		return fmt.Errorf("heuristics: register %q: nil solve func", d.Name)
+	}
+	if d.Dims&DimBoth == 0 {
+		return fmt.Errorf("heuristics: register %q: empty dimension mask", d.Name)
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.byName[d.Name]; dup {
+		return fmt.Errorf("heuristics: register %q: already registered", d.Name)
+	}
+	registry.byName[d.Name] = d
+	return nil
+}
+
+// MustRegister is Register that panics on error; for init()-time
+// registration where a failure is a programming error.
+func MustRegister(d Descriptor) {
+	if err := Register(d); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the descriptor registered under name.
+func Lookup(name Algorithm) (Descriptor, bool) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	d, ok := registry.byName[name]
+	return d, ok
+}
+
+// Descriptors returns every registered algorithm (paper set and
+// extensions) sorted by paper order, then name.
+func Descriptors() []Descriptor {
+	registry.mu.RLock()
+	out := make([]Descriptor, 0, len(registry.byName))
+	for _, d := range registry.byName {
+		out = append(out, d)
+	}
+	registry.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Order != out[j].Order {
+			return out[i].Order < out[j].Order
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// All returns the paper's algorithms in the paper's presentation order
+// (GLL, GZO, GLF, GKF, SGK, BD, BDP). Extensions beyond the paper (BDL)
+// are registered but excluded, so the evaluation matrix stays the
+// paper's seven.
+func All() []Algorithm {
+	var out []Algorithm
+	for _, d := range Descriptors() {
+		if d.Paper {
+			out = append(out, d.Name)
+		}
+	}
+	return out
+}
+
+// Run executes the named algorithm on a stencil instance of either
+// dimensionality. It is the single dispatch path: unknown names and
+// dimension mismatches error, per-algorithm errors (cancellation, failed
+// decompositions) propagate instead of being discarded, and when opts
+// carries a stats sink the algorithm's wall time is recorded under
+// "solve:<name>".
+func Run(alg Algorithm, s grid.Stencil, opts *core.SolveOptions) (core.Coloring, error) {
+	d, ok := Lookup(alg)
+	if !ok {
+		return core.Coloring{}, fmt.Errorf("heuristics: unknown algorithm %q", alg)
+	}
+	if !d.Dims.Has(s.Dims()) {
+		return core.Coloring{}, fmt.Errorf("heuristics: %s is %s-only, got a %dD instance",
+			alg, d.Dims, s.Dims())
+	}
+	if err := opts.Err(); err != nil {
+		return core.Coloring{}, err
+	}
+	t0 := time.Now()
+	c, err := d.Fn(s, opts)
+	opts.Sink().AddPhase("solve:"+string(alg), time.Since(t0))
+	if err != nil {
+		return core.Coloring{}, fmt.Errorf("heuristics: %s: %w", alg, err)
+	}
+	return c, nil
+}
+
+// Run2D executes the named algorithm on a 9-pt stencil instance.
+func Run2D(alg Algorithm, g *grid.Grid2D) (core.Coloring, error) {
+	return Run(alg, g, nil)
+}
+
+// Run3D executes the named algorithm on a 27-pt stencil instance.
+func Run3D(alg Algorithm, g *grid.Grid3D) (core.Coloring, error) {
+	return Run(alg, g, nil)
+}

@@ -14,7 +14,7 @@ import (
 // on real instances most blocks have few uncolored vertices, so the
 // factorial blowup concentrates on the first blocks visited.
 func SmartLargestCliqueFirst3DFull(g *grid.Grid3D) core.Coloring {
-	blocks := append([]grid.Block{}, blocksOf3D(g)...)
+	blocks := append([]grid.Block{}, g.CliqueBlocks()...)
 	grid.SortBlocksByWeightDesc(blocks)
 	c := core.NewColoring(g.Len())
 	var s core.FitScratch

@@ -50,8 +50,23 @@ type (
 	Grid2D = grid.Grid2D
 	// Grid3D is an X×Y×Z 27-pt stencil instance.
 	Grid3D = grid.Grid3D
+	// Stencil is the dimension-generic stencil view: both *Grid2D and
+	// *Grid3D satisfy it, and the Solve/Best/Portfolio entry points
+	// accept it directly.
+	Stencil = grid.Stencil
 	// Algorithm names one of the paper's heuristics.
 	Algorithm = heuristics.Algorithm
+	// SolveOptions carries a context.Context (cancellation, polled at
+	// line/block granularity), a Parallelism knob for portfolio solves,
+	// and an optional Stats sink. A nil *SolveOptions is always valid.
+	SolveOptions = core.SolveOptions
+	// Stats accumulates placements, probes, and per-phase wall times of a
+	// solve; safe for concurrent use.
+	Stats = core.Stats
+	// PhaseTime is one named phase's aggregated wall time inside Stats.
+	PhaseTime = core.PhaseTime
+	// AlgorithmInfo describes one registered algorithm.
+	AlgorithmInfo = heuristics.Descriptor
 	// DAG is the task dependency graph induced by a coloring.
 	DAG = sched.DAG
 	// Schedule is a simulated parallel execution of a DAG.
@@ -77,6 +92,12 @@ const (
 
 // Algorithms returns all seven algorithm names in the paper's order.
 func Algorithms() []Algorithm { return heuristics.All() }
+
+// AlgorithmRegistry returns every registered algorithm descriptor (the
+// paper's seven plus extensions such as BDL) sorted by paper order. The
+// registry is the single dispatch table behind Solve, Best, Portfolio,
+// and the cmd tools.
+func AlgorithmRegistry() []AlgorithmInfo { return heuristics.Descriptors() }
 
 // NewGrid2D allocates a zero-weight X×Y 9-pt stencil instance.
 func NewGrid2D(x, y int) (*Grid2D, error) { return grid.NewGrid2D(x, y) }
@@ -110,47 +131,44 @@ func WriteInstance2D(w io.Writer, g *Grid2D) error { return grid.Write2D(w, g) }
 // WriteInstance3D encodes a 3D instance in the text format.
 func WriteInstance3D(w io.Writer, g *Grid3D) error { return grid.Write3D(w, g) }
 
-// Solve2D colors a 9-pt stencil instance with the named algorithm. The
-// returned coloring is always complete and valid.
-func Solve2D(alg Algorithm, g *Grid2D) (Coloring, error) { return heuristics.Run2D(alg, g) }
+// Solve colors a stencil instance of either dimensionality with the
+// named algorithm, honoring opts (context cancellation, stats). The
+// returned coloring is always complete and valid; on error (unknown
+// algorithm, dimension mismatch, canceled context) no coloring is
+// returned. A nil opts means background context, sequential, no stats.
+func Solve(alg Algorithm, s Stencil, opts *SolveOptions) (Coloring, error) {
+	return heuristics.Run(alg, s, opts)
+}
+
+// Best runs the paper's full algorithm portfolio on s and returns the
+// coloring with the smallest maxcolor together with the winning
+// algorithm's name. With opts.Parallelism > 1 the portfolio runs
+// concurrently; the result is byte-identical to the sequential run (ties
+// break by lowest maxcolor, then paper order).
+func Best(s Stencil, opts *SolveOptions) (Coloring, Algorithm, error) {
+	return heuristics.Best(s, opts)
+}
+
+// Portfolio is Best over a caller-chosen algorithm list; ties break by
+// position in algs.
+func Portfolio(s Stencil, algs []Algorithm, opts *SolveOptions) (Coloring, Algorithm, error) {
+	return heuristics.Portfolio(s, algs, opts)
+}
+
+// Solve2D colors a 9-pt stencil instance with the named algorithm. It is
+// a compatibility wrapper over Solve with default options.
+func Solve2D(alg Algorithm, g *Grid2D) (Coloring, error) { return Solve(alg, g, nil) }
 
 // Solve3D colors a 27-pt stencil instance with the named algorithm.
-func Solve3D(alg Algorithm, g *Grid3D) (Coloring, error) { return heuristics.Run3D(alg, g) }
+func Solve3D(alg Algorithm, g *Grid3D) (Coloring, error) { return Solve(alg, g, nil) }
 
 // Best2D runs every algorithm and returns the coloring with the smallest
-// maxcolor together with the winning algorithm's name.
-func Best2D(g *Grid2D) (Coloring, Algorithm, error) {
-	var best Coloring
-	var bestAlg Algorithm
-	bestVal := int64(1) << 62
-	for _, alg := range Algorithms() {
-		c, err := Solve2D(alg, g)
-		if err != nil {
-			return Coloring{}, "", err
-		}
-		if mc := c.MaxColor(g); mc < bestVal {
-			best, bestAlg, bestVal = c, alg, mc
-		}
-	}
-	return best, bestAlg, nil
-}
+// maxcolor together with the winning algorithm's name. It is a
+// compatibility wrapper over Best with default options.
+func Best2D(g *Grid2D) (Coloring, Algorithm, error) { return Best(g, nil) }
 
 // Best3D is Best2D for 27-pt stencils.
-func Best3D(g *Grid3D) (Coloring, Algorithm, error) {
-	var best Coloring
-	var bestAlg Algorithm
-	bestVal := int64(1) << 62
-	for _, alg := range Algorithms() {
-		c, err := Solve3D(alg, g)
-		if err != nil {
-			return Coloring{}, "", err
-		}
-		if mc := c.MaxColor(g); mc < bestVal {
-			best, bestAlg, bestVal = c, alg, mc
-		}
-	}
-	return best, bestAlg, nil
-}
+func Best3D(g *Grid3D) (Coloring, Algorithm, error) { return Best(g, nil) }
 
 // LowerBound2D returns the max-K4 clique lower bound (Section III-A); no
 // valid coloring of g can use fewer colors.
