@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench experiments experiments-full stkde cover clean
+.PHONY: all build vet test race check bench microbench experiments experiments-full stkde cover clean
 
 all: build check
 
@@ -21,7 +21,15 @@ race:
 # on every build (it is part of the default `make` flow via `all`).
 check: vet race
 
+# bench runs the committed performance suite (placement kernel, figure
+# runtimes, sequential-vs-parallel scaling) and writes machine-readable
+# numbers to BENCH_PR2.json. Use `make bench BENCH_FLAGS=-quick` for a
+# fast smoke run.
 bench:
+	$(GO) run ./cmd/ivcbench $(BENCH_FLAGS) -out BENCH_PR2.json
+
+# microbench runs every in-tree testing.B benchmark instead.
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 experiments:

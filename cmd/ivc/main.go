@@ -10,6 +10,8 @@
 //	ivc -alg BDP -in g.ivc -timeout 2s   abort long solves
 //	ivc -alg BDP -in g.ivc -exact 500000 additionally certify optimality
 //	ivc -alg BDP -in g.ivc -simulate 4 -gantt   draw the schedule
+//	ivc -alg PGLL -par 8 -in g.ivc       tile-parallel speculative solve
+//	ivc -alg BDP -in g.ivc -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Instances use the text format of internal/grid: a header line
 // "ivc2d X Y" or "ivc3d X Y Z" followed by the cell weights.
@@ -21,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"stencilivc"
@@ -36,16 +40,43 @@ func main() {
 }
 
 func run() error {
-	algName := flag.String("alg", "BDP", "algorithm (GLL, GZO, GLF, GKF, SGK, BD, BDP, BDL, best, all)")
+	algName := flag.String("alg", "BDP", "algorithm (GLL, GZO, GLF, GKF, SGK, BD, BDP, BDL, PGLL, PGLF, best, all)")
 	inPath := flag.String("in", "-", "instance file ('-' for stdin)")
 	print := flag.Bool("print", false, "print the start color of every vertex")
 	stats := flag.Bool("stats", false, "report solver work counters and per-phase wall times")
 	timeout := flag.Duration("timeout", 0, "if > 0, abort solving after this long")
-	par := flag.Int("par", 1, "portfolio parallelism for -alg best (goroutines)")
+	par := flag.Int("par", 1, "parallelism: portfolio goroutines for -alg best, tile workers for PGLL/PGLF")
 	exactBudget := flag.Int("exact", 0, "if > 0, also run the exact solver with this node budget")
 	workers := flag.Int("simulate", 0, "if > 0, simulate execution on this many processors")
 	gantt := flag.Bool("gantt", false, "with -simulate, draw the schedule as a Gantt chart")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ivc: heap profile:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	var in io.Reader = os.Stdin
 	if *inPath != "-" {

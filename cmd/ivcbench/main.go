@@ -1,0 +1,297 @@
+// Command ivcbench runs the PR 2 performance suite and writes the
+// results as machine-readable JSON (ns/op, allocs/op, maxcolor, and
+// sequential-vs-parallel speedups), so perf numbers can be committed and
+// compared across machines and revisions.
+//
+// Usage:
+//
+//	ivcbench -out BENCH_PR2.json           full suite (2048^2 2D, 128^3 3D)
+//	ivcbench -quick -out /dev/stdout       small grids, for smoke runs
+//
+// The suite covers:
+//   - PlaceLowest micro-kernels on 9-pt and 27-pt stencils (the
+//     allocation-free hot path; the acceptance bar is 0 allocs/op),
+//   - per-algorithm runtimes on representative dataset instances
+//     (Figures 5a and 7a of the paper),
+//   - the tile-parallel speculative solver (PGLL) against sequential
+//     GLL on large grids at increasing worker counts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"stencilivc"
+	"stencilivc/internal/core"
+	"stencilivc/internal/datasets"
+	"stencilivc/internal/grid"
+)
+
+// Result is one benchmark row of the JSON report.
+type Result struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	N        int     `json:"iterations"`
+	MaxColor int64   `json:"maxcolor,omitempty"`
+	Par      int     `json:"par,omitempty"`
+	Speedup  float64 `json:"speedup,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	GeneratedUnix int64    `json:"generated_unix"`
+	GoVersion     string   `json:"go_version"`
+	GOOS          string   `json:"goos"`
+	GOARCH        string   `json:"goarch"`
+	NumCPU        int      `json:"num_cpu"`
+	GOMAXPROCS    int      `json:"gomaxprocs"`
+	Quick         bool     `json:"quick"`
+	Results       []Result `json:"results"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ivcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "BENCH_PR2.json", "output JSON file ('-' for stdout)")
+	quick := flag.Bool("quick", false, "use small grids (fast smoke run)")
+	seed := flag.Int64("seed", 1, "weight RNG seed for the scaling grids")
+	flag.Parse()
+
+	rep := &Report{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Quick:         *quick,
+	}
+
+	size2, size3 := 2048, 128
+	if *quick {
+		size2, size3 = 256, 32
+	}
+
+	benchPlaceLowest(rep)
+	if err := benchFigRuntimes(rep); err != nil {
+		return err
+	}
+	if err := benchParallel(rep, size2, size3, *seed); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// note prints a progress line to stderr so long runs are watchable.
+func note(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ivcbench: "+format+"\n", args...)
+}
+
+func record(rep *Report, name string, br testing.BenchmarkResult) *Result {
+	rep.Results = append(rep.Results, Result{
+		Name:     name,
+		NsPerOp:  float64(br.NsPerOp()),
+		AllocsOp: br.AllocsPerOp(),
+		BytesOp:  br.AllocedBytesPerOp(),
+		N:        br.N,
+	})
+	r := &rep.Results[len(rep.Results)-1]
+	note("%-40s %12.1f ns/op %6d allocs/op", name, r.NsPerOp, r.AllocsOp)
+	return r
+}
+
+// benchPlaceLowest measures the steady-state placement kernel on interior
+// stencil neighborhoods; allocs/op must be 0.
+func benchPlaceLowest(rep *Report) {
+	run := func(name string, g grid.Stencil, w []int64) {
+		rng := rand.New(rand.NewSource(1))
+		for v := range w {
+			w[v] = rng.Int63n(9) + 1
+		}
+		c := core.NewColoring(g.Len())
+		for v := range c.Start {
+			c.Start[v] = rng.Int63n(60)
+		}
+		var s core.FitScratch
+		v := 0
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.PlaceLowest(g, c, v, -1)
+				v++
+				if v == g.Len() {
+					v = 0
+				}
+			}
+		})
+		record(rep, name, br)
+	}
+	g2 := grid.MustGrid2D(64, 64)
+	run("PlaceLowest/9pt", g2, g2.W)
+	g3 := grid.MustGrid3D(16, 16, 16)
+	run("PlaceLowest/27pt", g3, g3.W)
+}
+
+// benchFigRuntimes reruns the per-algorithm runtime comparisons of
+// Figures 5a (2D) and 7a (3D) on the largest Dengue suite instances.
+func benchFigRuntimes(rep *Report) error {
+	s2, err := datasets.Suite2D(datasets.SuiteOptions{Seed: 1, Stride: 2, MaxDim: 32})
+	if err != nil {
+		return err
+	}
+	s3, err := datasets.Suite3D(datasets.SuiteOptions{Seed: 1, Stride: 2, MaxDim: 16})
+	if err != nil {
+		return err
+	}
+	var g2 *stencilivc.Grid2D
+	for _, in := range s2 {
+		if in.Dataset != datasets.Dengue || in.Projection != datasets.XY {
+			continue
+		}
+		g, err := stencilivc.FromWeights2D(in.X, in.Y, in.Weights)
+		if err != nil {
+			return err
+		}
+		if g2 == nil || g.Len() > g2.Len() {
+			g2 = g
+		}
+	}
+	var g3 *stencilivc.Grid3D
+	for _, in := range s3 {
+		if in.Dataset != datasets.Dengue {
+			continue
+		}
+		g, err := stencilivc.FromWeights3D(in.X, in.Y, in.Z, in.Weights)
+		if err != nil {
+			return err
+		}
+		if g3 == nil || g.Len() > g3.Len() {
+			g3 = g
+		}
+	}
+	if g2 == nil || g3 == nil {
+		return fmt.Errorf("dataset suites produced no representative instances")
+	}
+
+	for _, alg := range stencilivc.Algorithms() {
+		alg := alg
+		var mc int64
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := stencilivc.Solve(alg, g2, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mc = c.MaxColor(g2)
+			}
+		})
+		record(rep, fmt.Sprintf("Fig5a2D/%s", alg), br).MaxColor = mc
+	}
+	for _, alg := range stencilivc.Algorithms() {
+		alg := alg
+		var mc int64
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := stencilivc.Solve(alg, g3, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mc = c.MaxColor(g3)
+			}
+		})
+		record(rep, fmt.Sprintf("Fig7a3D/%s", alg), br).MaxColor = mc
+	}
+	return nil
+}
+
+// benchParallel measures the tile-parallel speculative solver (PGLL)
+// against sequential GLL on a size2^2 2D grid and a size3^3 3D grid, at
+// worker counts 1, 2, 4, ..., NumCPU. Speedup is sequential ns/op over
+// parallel ns/op; on a single-core runner it stays near 1.
+func benchParallel(rep *Report, size2, size3 int, seed int64) error {
+	parSweep := []int{1}
+	for p := 2; p <= runtime.NumCPU(); p *= 2 {
+		parSweep = append(parSweep, p)
+	}
+
+	solve := func(alg stencilivc.Algorithm, s stencilivc.Stencil, par int) (testing.BenchmarkResult, int64, error) {
+		var mc int64
+		var solveErr error
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := stencilivc.Solve(alg, s, &stencilivc.SolveOptions{Parallelism: par})
+				if err != nil {
+					solveErr = err
+					b.FailNow()
+				}
+				if err := c.Validate(s); err != nil {
+					solveErr = err
+					b.FailNow()
+				}
+				mc = c.MaxColor(s)
+			}
+		})
+		return br, mc, solveErr
+	}
+
+	bench := func(label string, s stencilivc.Stencil) error {
+		br, mc, err := solve(stencilivc.GLL, s, 1)
+		if err != nil {
+			return err
+		}
+		r := record(rep, label+"/GLL", br)
+		r.MaxColor, r.Par = mc, 1
+		seqNs := r.NsPerOp
+		for _, par := range parSweep {
+			br, mc, err := solve(stencilivc.PGLL, s, par)
+			if err != nil {
+				return err
+			}
+			r := record(rep, fmt.Sprintf("%s/PGLL-par%d", label, par), br)
+			r.MaxColor, r.Par = mc, par
+			r.Speedup = seqNs / r.NsPerOp
+			note("%s par=%d: speedup %.2fx over sequential GLL", label, par, r.Speedup)
+		}
+		return nil
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	g2 := grid.MustGrid2D(size2, size2)
+	for v := range g2.W {
+		g2.W[v] = rng.Int63n(100)
+	}
+	note("scaling 2D: %dx%d (%d vertices)", size2, size2, g2.Len())
+	if err := bench(fmt.Sprintf("Parallel2D/%dx%d", size2, size2), g2); err != nil {
+		return err
+	}
+
+	g3 := grid.MustGrid3D(size3, size3, size3)
+	for v := range g3.W {
+		g3.W[v] = rng.Int63n(100)
+	}
+	note("scaling 3D: %dx%dx%d (%d vertices)", size3, size3, size3, g3.Len())
+	return bench(fmt.Sprintf("Parallel3D/%dx%dx%d", size3, size3, size3), g3)
+}

@@ -21,9 +21,36 @@ type Graph interface {
 	Neighbors(v int, buf []int) []int
 }
 
-// Degree returns the number of neighbors of v. It is a convenience for
-// callers that do not keep a scratch buffer.
+// MaxFixedDegree is the largest neighbor count a FixedGraph may report:
+// 26, the degree of an interior 27-pt stencil vertex (the 9-pt stencil's
+// 8 fits inside the same bound).
+const MaxFixedDegree = 26
+
+// FixedGraph is implemented by graphs whose degree is bounded by
+// MaxFixedDegree — the implicit stencils. NeighborsFixed writes the
+// neighbors of v into buf and returns the count, letting hot placement
+// loops enumerate adjacency into a fixed-size array with no slice append
+// and no heap traffic. The reported neighbors must match Neighbors.
+type FixedGraph interface {
+	Graph
+	NeighborsFixed(v int, buf *[MaxFixedDegree]int) int
+}
+
+// DegreeGraph is an optional interface for graphs that can answer vertex
+// degrees in O(1) without materializing a neighbor list (CSR offset
+// difference, stencil coordinate arithmetic).
+type DegreeGraph interface {
+	Degree(v int) int
+}
+
+// Degree returns the number of neighbors of v. Graphs implementing
+// DegreeGraph answer in O(1); the fallback materializes the neighbor
+// list (and allocates), so implementing DegreeGraph is strongly
+// preferred for anything used in a loop.
 func Degree(g Graph, v int) int {
+	if dg, ok := g.(DegreeGraph); ok {
+		return dg.Degree(v)
+	}
 	return len(g.Neighbors(v, nil))
 }
 
@@ -158,6 +185,13 @@ func (g *CSRGraph) Neighbors(v int, buf []int) []int {
 	}
 	return buf
 }
+
+// Degree returns the degree of v in O(1) from the CSR offsets.
+func (g *CSRGraph) Degree(v int) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+var _ DegreeGraph = (*CSRGraph)(nil)
 
 // Chain returns the path graph v0 - v1 - ... - v_{n-1} with the given
 // weights (the 1×N stencil degenerate case, Section II of the paper).

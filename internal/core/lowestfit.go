@@ -5,6 +5,14 @@ import (
 	"sort"
 )
 
+// smallSortMax is the occupancy-list length up to which LowestFit sorts
+// with an inline insertion sort instead of sort.Slice. Stencil degrees
+// are at most 26, so the greedy hot path always stays on the inline
+// branch; sort.Slice (whose reflect-based swapper allocates and whose
+// comparator is an indirect call) remains only for large general-graph
+// neighborhoods.
+const smallSortMax = 32
+
 // LowestFit returns the smallest non-negative start s such that [s, s+w)
 // does not overlap any interval in occ. occ is sorted in place by start;
 // empty intervals are ignored. Zero-width requests always fit at 0.
@@ -17,7 +25,11 @@ func LowestFit(occ []Interval, w int64) int64 {
 	if w <= 0 {
 		return 0
 	}
-	sort.Slice(occ, func(i, j int) bool { return byStart(occ[i], occ[j]) < 0 })
+	if len(occ) <= smallSortMax {
+		insertionSortByStart(occ)
+	} else {
+		sort.Slice(occ, func(i, j int) bool { return byStart(occ[i], occ[j]) < 0 })
+	}
 	var cur int64
 	for _, iv := range occ {
 		if iv.Empty() {
@@ -31,6 +43,22 @@ func LowestFit(occ []Interval, w int64) int64 {
 	return cur
 }
 
+// insertionSortByStart sorts occ by byStart without allocating. It is the
+// right sort for the d <= 26 occupancy lists stencils produce: branchy
+// but tiny, with no closure, no interface dispatch, and no reflect-based
+// swapper.
+func insertionSortByStart(occ []Interval) {
+	for i := 1; i < len(occ); i++ {
+		iv := occ[i]
+		j := i - 1
+		for j >= 0 && byStart(occ[j], iv) > 0 {
+			occ[j+1] = occ[j]
+			j--
+		}
+		occ[j+1] = iv
+	}
+}
+
 // FitScratch is a reusable buffer for repeated lowest-fit queries over a
 // graph; it avoids per-vertex allocations in the greedy inner loop. When
 // Stats is non-nil, every PlaceLowest records one placement and one probe
@@ -38,6 +66,11 @@ func LowestFit(occ []Interval, w int64) int64 {
 type FitScratch struct {
 	nbuf []int
 	occ  []Interval
+	// fixN and fixI back the FixedGraph fast path: neighbor ids and
+	// occupied intervals live in fixed-size arrays inside the scratch, so
+	// the placement loop touches no slice growth and no heap at all.
+	fixN [MaxFixedDegree]int
+	fixI [MaxFixedDegree]Interval
 	// Stats is an optional sink for placement/probe counters.
 	Stats *Stats
 }
@@ -45,7 +78,15 @@ type FitScratch struct {
 // PlaceLowest computes the lowest feasible start for vertex v given the
 // colored neighbors in c, ignoring vertex skip (pass -1 to ignore none;
 // skip is used by recoloring passes that lift v out before reinserting).
+//
+// Graphs implementing FixedGraph (the stencils) take an allocation-free
+// fast path: neighbors are enumerated into a fixed-size array and the
+// occupancy list never leaves the scratch, so the greedy inner loop does
+// zero heap work per placement.
 func (s *FitScratch) PlaceLowest(g Graph, c Coloring, v int, skip int) int64 {
+	if fg, ok := g.(FixedGraph); ok {
+		return s.placeFixed(fg, c, v, skip)
+	}
 	s.nbuf = g.Neighbors(v, s.nbuf[:0])
 	s.occ = s.occ[:0]
 	for _, u := range s.nbuf {
@@ -62,6 +103,33 @@ func (s *FitScratch) PlaceLowest(g Graph, c Coloring, v int, skip int) int64 {
 		s.Stats.AddProbes(int64(len(s.occ)))
 	}
 	return LowestFit(s.occ, g.Weight(v))
+}
+
+// placeFixed is PlaceLowest specialized to fixed-degree (stencil) graphs.
+func (s *FitScratch) placeFixed(g FixedGraph, c Coloring, v int, skip int) int64 {
+	deg := g.NeighborsFixed(v, &s.fixN)
+	m := 0
+	for t := 0; t < deg; t++ {
+		u := s.fixN[t]
+		if u == skip {
+			continue
+		}
+		sv := c.Start[u]
+		if sv == Unset {
+			continue
+		}
+		w := g.Weight(u)
+		if w <= 0 {
+			continue
+		}
+		s.fixI[m] = Interval{Start: sv, End: sv + w}
+		m++
+	}
+	if s.Stats != nil {
+		s.Stats.AddPlacements(1)
+		s.Stats.AddProbes(int64(m))
+	}
+	return LowestFit(s.fixI[:m], g.Weight(v))
 }
 
 // GreedyColor colors the vertices of g one at a time in the given order,

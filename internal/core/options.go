@@ -24,10 +24,14 @@ type SolveOptions struct {
 	// so cancellation is honored promptly even on huge grids. A nil Ctx
 	// means context.Background().
 	Ctx context.Context
-	// Parallelism bounds the number of concurrent algorithm runs in a
-	// portfolio solve. Values < 2 (including the zero value) run
-	// sequentially. Individual algorithms are always single-threaded;
-	// parallelism never changes the result, only the wall time.
+	// Parallelism bounds the number of worker goroutines a solve may use:
+	// concurrent algorithm runs in a portfolio solve, and tile workers
+	// inside the tile-parallel speculative solvers (PGLL/PGLF). Values
+	// < 2 (including the zero value) run sequentially. The paper's seven
+	// sequential algorithms are single-threaded regardless, so for them
+	// parallelism never changes the result, only the portfolio wall time;
+	// the speculative solvers always return a valid coloring but their
+	// maxcolor may vary slightly with worker timing.
 	Parallelism int
 	// Stats, when non-nil, accumulates placement counts, probe counts,
 	// and per-phase wall times across the solve.
@@ -118,6 +122,20 @@ func (s *Stats) AddProbes(n int64) {
 		return
 	}
 	s.probes.Add(n)
+}
+
+// PhaseTimer starts timing a named phase and returns the stop function
+// that records the elapsed wall time; meant for defer:
+//
+//	defer core.PhaseTimer(opts.Sink(), "pgreedy/speculate")()
+//
+// A nil Stats yields a no-op stop function.
+func PhaseTimer(s *Stats, name string) func() {
+	if s == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { s.AddPhase(name, time.Since(t0)) }
 }
 
 // AddPhase accumulates d into the named phase's wall time.

@@ -1,0 +1,155 @@
+package grid
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"stencilivc/internal/core"
+)
+
+// genericOnly strips a stencil down to the plain core.Graph method set,
+// forcing PlaceLowest onto its generic (slice-based) path.
+type genericOnly struct{ core.Graph }
+
+// TestNeighborsFixedMatchesNeighbors: the fixed-array enumeration reports
+// exactly the same neighbor set as the slice-based one, for every vertex.
+func TestNeighborsFixedMatchesNeighbors(t *testing.T) {
+	graphs := []core.FixedGraph{
+		MustGrid2D(1, 1), MustGrid2D(7, 1), MustGrid2D(1, 9), MustGrid2D(6, 5),
+		MustGrid3D(1, 1, 3), MustGrid3D(4, 3, 5), MustGrid3D(3, 3, 3),
+	}
+	for _, g := range graphs {
+		var fix [core.MaxFixedDegree]int
+		for v := 0; v < g.Len(); v++ {
+			want := g.Neighbors(v, nil)
+			n := g.NeighborsFixed(v, &fix)
+			got := append([]int{}, fix[:n]...)
+			sort.Ints(got)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("%v vertex %d: NeighborsFixed=%v Neighbors=%v", g, v, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%v vertex %d: NeighborsFixed=%v Neighbors=%v", g, v, got, want)
+				}
+			}
+			if d := core.Degree(g, v); d != len(want) {
+				t.Fatalf("%v vertex %d: Degree=%d, want %d", g, v, d, len(want))
+			}
+		}
+	}
+}
+
+// TestRelaxedDegrees: the O(1) degree formulas of the 5-pt/7-pt
+// relaxations agree with their neighbor lists.
+func TestRelaxedDegrees(t *testing.T) {
+	f := FivePt{G: MustGrid2D(6, 4)}
+	for v := 0; v < f.Len(); v++ {
+		if got, want := f.Degree(v), len(f.Neighbors(v, nil)); got != want {
+			t.Fatalf("FivePt vertex %d: Degree=%d, want %d", v, got, want)
+		}
+	}
+	s := SevenPt{G: MustGrid3D(4, 3, 5)}
+	for v := 0; v < s.Len(); v++ {
+		if got, want := s.Degree(v), len(s.Neighbors(v, nil)); got != want {
+			t.Fatalf("SevenPt vertex %d: Degree=%d, want %d", v, got, want)
+		}
+	}
+}
+
+// TestPlaceFixedMatchesGeneric: the stencil fast path of PlaceLowest
+// returns the same start as the generic path, over random partial
+// colorings and all skip arguments.
+func TestPlaceFixedMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	stencils := []Stencil{MustGrid2D(7, 6), MustGrid3D(4, 4, 3)}
+	for _, g := range stencils {
+		for v := range weights(g) {
+			setWeight(g, v, rng.Int63n(7))
+		}
+		c := core.NewColoring(g.Len())
+		for v := range c.Start {
+			if rng.Intn(3) > 0 {
+				c.Start[v] = rng.Int63n(15)
+			}
+		}
+		var fast, slow core.FitScratch
+		for v := 0; v < g.Len(); v++ {
+			for _, skip := range []int{-1, 0, v, (v + 1) % g.Len()} {
+				got := fast.PlaceLowest(g, c, v, skip)
+				want := slow.PlaceLowest(genericOnly{g}, c, v, skip)
+				if got != want {
+					t.Fatalf("%v vertex %d skip %d: fixed=%d generic=%d", g, v, skip, got, want)
+				}
+			}
+		}
+	}
+}
+
+func weights(s Stencil) []int64 {
+	switch g := s.(type) {
+	case *Grid2D:
+		return g.W
+	case *Grid3D:
+		return g.W
+	}
+	panic("unknown stencil")
+}
+
+func setWeight(s Stencil, v int, w int64) { weights(s)[v] = w }
+
+// TestPlaceLowestNoAllocs: the FixedGraph fast path does zero heap work
+// per placement — the contract behind the tile-parallel solver's
+// allocation-free inner loop.
+func TestPlaceLowestNoAllocs(t *testing.T) {
+	g := MustGrid3D(6, 6, 6)
+	rng := rand.New(rand.NewSource(2))
+	for v := range g.W {
+		g.W[v] = rng.Int63n(9) + 1
+	}
+	c := core.NewColoring(g.Len())
+	for v := range c.Start {
+		c.Start[v] = rng.Int63n(40)
+	}
+	var s core.FitScratch
+	v := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		s.PlaceLowest(g, c, v, -1)
+		v = (v + 1) % g.Len()
+	})
+	if allocs != 0 {
+		t.Errorf("PlaceLowest allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// BenchmarkPlaceLowest measures the steady-state placement kernel on
+// fully colored interior neighborhoods (the hot case of every greedy
+// solver). The acceptance bar for PR 2 is 0 allocs/op.
+func BenchmarkPlaceLowest(b *testing.B) {
+	run := func(b *testing.B, g Stencil) {
+		rng := rand.New(rand.NewSource(1))
+		w := weights(g)
+		for v := range w {
+			w[v] = rng.Int63n(9) + 1
+		}
+		c := core.NewColoring(g.Len())
+		for v := range c.Start {
+			c.Start[v] = rng.Int63n(60)
+		}
+		var s core.FitScratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		v := 0
+		for i := 0; i < b.N; i++ {
+			s.PlaceLowest(g, c, v, -1)
+			v++
+			if v == g.Len() {
+				v = 0
+			}
+		}
+	}
+	b.Run("9pt", func(b *testing.B) { run(b, MustGrid2D(64, 64)) })
+	b.Run("27pt", func(b *testing.B) { run(b, MustGrid3D(16, 16, 16)) })
+}

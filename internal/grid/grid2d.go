@@ -106,6 +106,53 @@ func (g *Grid2D) Neighbors(v int, buf []int) []int {
 	return buf
 }
 
+// NeighborsFixed writes the 9-pt stencil neighbors of v (up to 8) into
+// buf and returns the count; it is the allocation-free enumeration the
+// placement kernels use (core.FixedGraph).
+func (g *Grid2D) NeighborsFixed(v int, buf *[core.MaxFixedDegree]int) int {
+	i, j := g.Coords(v)
+	m := 0
+	for dj := -1; dj <= 1; dj++ {
+		nj := j + dj
+		if nj < 0 || nj >= g.Y {
+			continue
+		}
+		for di := -1; di <= 1; di++ {
+			ni := i + di
+			if ni < 0 || ni >= g.X || (di == 0 && dj == 0) {
+				continue
+			}
+			buf[m] = nj*g.X + ni
+			m++
+		}
+	}
+	return m
+}
+
+// Degree returns the 9-pt degree of v in O(1) from its coordinates.
+func (g *Grid2D) Degree(v int) int {
+	i, j := g.Coords(v)
+	return span(i, g.X)*span(j, g.Y) - 1
+}
+
+// span returns how many cells the closed range [c-1, c+1] covers inside
+// a dimension of extent n.
+func span(c, n int) int {
+	s := 3
+	if c == 0 {
+		s--
+	}
+	if c == n-1 {
+		s--
+	}
+	return s
+}
+
+var (
+	_ core.FixedGraph  = (*Grid2D)(nil)
+	_ core.DegreeGraph = (*Grid2D)(nil)
+)
+
 // FivePt is the 5-pt relaxation of a Grid2D: only the 4 axis neighbors
 // conflict. It is bipartite (checkerboard), which is what makes the 5-pt
 // relaxation polynomial (Section III-B). It shares the weight storage of
@@ -147,6 +194,15 @@ func (f FivePt) Parity(v int) int {
 	i, j := f.G.Coords(v)
 	return (i + j) % 2
 }
+
+// Degree returns the 5-pt degree of v in O(1) from its coordinates.
+func (f FivePt) Degree(v int) int {
+	g := f.G
+	i, j := g.Coords(v)
+	return span(i, g.X) + span(j, g.Y) - 2
+}
+
+var _ core.DegreeGraph = FivePt{}
 
 // Row returns the weights of row j as a chain, in increasing i.
 func (g *Grid2D) Row(j int) []int64 {

@@ -111,6 +111,46 @@ func (g *Grid3D) Neighbors(v int, buf []int) []int {
 	return buf
 }
 
+// NeighborsFixed writes the 27-pt stencil neighbors of v (up to 26) into
+// buf and returns the count; it is the allocation-free enumeration the
+// placement kernels use (core.FixedGraph).
+func (g *Grid3D) NeighborsFixed(v int, buf *[core.MaxFixedDegree]int) int {
+	i, j, k := g.Coords(v)
+	m := 0
+	for dk := -1; dk <= 1; dk++ {
+		nk := k + dk
+		if nk < 0 || nk >= g.Z {
+			continue
+		}
+		for dj := -1; dj <= 1; dj++ {
+			nj := j + dj
+			if nj < 0 || nj >= g.Y {
+				continue
+			}
+			for di := -1; di <= 1; di++ {
+				ni := i + di
+				if ni < 0 || ni >= g.X || (di == 0 && dj == 0 && dk == 0) {
+					continue
+				}
+				buf[m] = (nk*g.Y+nj)*g.X + ni
+				m++
+			}
+		}
+	}
+	return m
+}
+
+// Degree returns the 27-pt degree of v in O(1) from its coordinates.
+func (g *Grid3D) Degree(v int) int {
+	i, j, k := g.Coords(v)
+	return span(i, g.X)*span(j, g.Y)*span(k, g.Z) - 1
+}
+
+var (
+	_ core.FixedGraph  = (*Grid3D)(nil)
+	_ core.DegreeGraph = (*Grid3D)(nil)
+)
+
 // SevenPt is the 7-pt relaxation of a Grid3D: only the 6 axis neighbors
 // conflict. Like the 5-pt case it is bipartite on (i+j+k) parity, which
 // makes the 7-pt relaxation polynomial (Section III-B).
@@ -157,6 +197,15 @@ func (s SevenPt) Parity(v int) int {
 	i, j, k := s.G.Coords(v)
 	return (i + j + k) % 2
 }
+
+// Degree returns the 7-pt degree of v in O(1) from its coordinates.
+func (s SevenPt) Degree(v int) int {
+	g := s.G
+	i, j, k := g.Coords(v)
+	return span(i, g.X) + span(j, g.Y) + span(k, g.Z) - 3
+}
+
+var _ core.DegreeGraph = SevenPt{}
 
 // Layer returns layer k of the 3D grid as a 2D grid sharing the same
 // weight storage (mutations are visible in both).

@@ -20,6 +20,9 @@ type Stencil interface {
 	// with chain-pair fallbacks on degenerate ones so the block heuristics
 	// stay defined on 1×N (and 1×1×N etc.) instances.
 	CliqueBlocks() []Block
+	// Tiling partitions the grid into size-edged tiles (2D) or bricks
+	// (3D) for the tile-parallel speculative solver.
+	Tiling(size int) (*Tiling, error)
 }
 
 var (

@@ -1,0 +1,116 @@
+package grid
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestTilingPartition: across shapes and tile sizes, the tiles cover
+// every vertex exactly once, AppendVertices agrees with the tile bounds,
+// and TileOf maps each vertex back to its owning tile.
+func TestTilingPartition(t *testing.T) {
+	shapes := [][3]int{
+		{1, 1, 1}, {1, 7, 1}, {7, 1, 1}, {13, 9, 1}, {32, 32, 1},
+		{1, 1, 5}, {3, 4, 5}, {8, 8, 8}, {9, 5, 7},
+	}
+	for _, sh := range shapes {
+		for _, size := range []int{1, 2, 3, 5, 64} {
+			tl, err := NewTiling(sh[0], sh[1], sh[2], size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := sh[0] * sh[1] * sh[2]
+			seen := make([]int, n)
+			total := 0
+			for ti, tile := range tl.Tiles {
+				if tile.ID != ti {
+					t.Fatalf("%v size=%d: tile %d has ID %d", sh, size, ti, tile.ID)
+				}
+				verts := tile.AppendVertices(nil)
+				if len(verts) != tile.Len() {
+					t.Fatalf("%v size=%d tile %d: %d vertices, Len()=%d",
+						sh, size, ti, len(verts), tile.Len())
+				}
+				total += len(verts)
+				for _, v := range verts {
+					if v < 0 || v >= n {
+						t.Fatalf("%v size=%d tile %d: vertex %d out of range", sh, size, ti, v)
+					}
+					seen[v]++
+					if got := tl.TileOf(v); got != tile.ID {
+						t.Fatalf("%v size=%d: TileOf(%d) = %d, want %d", sh, size, v, got, tile.ID)
+					}
+				}
+			}
+			if total != n {
+				t.Fatalf("%v size=%d: tiles cover %d vertices, want %d", sh, size, total, n)
+			}
+			for v, c := range seen {
+				if c != 1 {
+					t.Fatalf("%v size=%d: vertex %d covered %d times", sh, size, v, c)
+				}
+			}
+		}
+	}
+}
+
+// TestTilingBoundary checks AppendBoundary against a brute-force
+// definition: a cell is a boundary cell iff some stencil neighbor lies in
+// a different tile. AppendBoundary may only over-approximate by cells on
+// interior tile faces, but here the two definitions coincide for the full
+// 9-pt/27-pt stencils because every face cell has a neighbor across the
+// face.
+func TestTilingBoundary(t *testing.T) {
+	cases := []struct {
+		g    Stencil
+		size int
+	}{
+		{MustGrid2D(13, 9), 4},
+		{MustGrid2D(8, 8), 3},
+		{MustGrid2D(5, 1), 2},
+		{MustGrid3D(6, 5, 4), 2},
+		{MustGrid3D(8, 8, 8), 3},
+		{MustGrid3D(3, 3, 3), 5}, // single tile: no boundary at all
+	}
+	for _, tc := range cases {
+		tl, err := tc.g.Tiling(tc.size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tile := range tl.Tiles {
+			got := tl.AppendBoundary(tile, nil)
+			if !sort.IntsAreSorted(got) {
+				t.Fatalf("%v size=%d tile %d: boundary not ascending", tc.g, tc.size, tile.ID)
+			}
+			var want []int
+			for _, v := range tile.AppendVertices(nil) {
+				for _, u := range tc.g.Neighbors(v, nil) {
+					if tl.TileOf(u) != tile.ID {
+						want = append(want, v)
+						break
+					}
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v size=%d tile %d: boundary %v, want %v",
+					tc.g, tc.size, tile.ID, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%v size=%d tile %d: boundary %v, want %v",
+						tc.g, tc.size, tile.ID, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTilingErrors: invalid sizes and extents are rejected.
+func TestTilingErrors(t *testing.T) {
+	if _, err := NewTiling(4, 4, 1, 0); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := NewTiling(0, 4, 1, 2); err == nil {
+		t.Error("zero extent accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package heuristics
+
+import (
+	"stencilivc/internal/core"
+	"stencilivc/internal/grid"
+	"stencilivc/internal/parallel"
+)
+
+// The tile-parallel speculative greedy solvers (extensions beyond the
+// paper, internal/parallel). They honor SolveOptions.Parallelism as the
+// tile-worker count, so -par accelerates a single solve, not just the
+// portfolio. Registered with Paper=false: the All() evaluation matrix
+// stays the paper's seven sequential algorithms.
+const (
+	// PGLL is tile-parallel greedy with tile-local line-by-line order.
+	PGLL Algorithm = "PGLL"
+	// PGLF is tile-parallel greedy with tile-local largest-first order.
+	PGLF Algorithm = "PGLF"
+)
+
+func init() {
+	MustRegister(Descriptor{
+		Name: PGLL, Dims: DimBoth, Paper: false, Order: 101,
+		Fn: func(s grid.Stencil, opts *core.SolveOptions) (core.Coloring, error) {
+			return parallel.Greedy(s, parallel.Config{Order: parallel.OrderLine}, opts)
+		},
+	})
+	MustRegister(Descriptor{
+		Name: PGLF, Dims: DimBoth, Paper: false, Order: 102,
+		Fn: func(s grid.Stencil, opts *core.SolveOptions) (core.Coloring, error) {
+			return parallel.Greedy(s, parallel.Config{Order: parallel.OrderWeightDesc}, opts)
+		},
+	})
+}

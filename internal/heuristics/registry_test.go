@@ -45,9 +45,60 @@ func TestBDLExcludedFromPaperSet(t *testing.T) {
 	if d.Dims != Dim3D {
 		t.Errorf("BDL dims = %s, want 3D", d.Dims)
 	}
-	// The full registry is the paper set plus BDL.
-	if n := len(Descriptors()); n != len(All())+1 {
-		t.Errorf("registry holds %d descriptors, want %d", n, len(All())+1)
+	// The full registry is the paper set plus the extensions (BDL and the
+	// tile-parallel solvers PGLL/PGLF).
+	extensions := map[Algorithm]bool{BDL: true, PGLL: true, PGLF: true}
+	if n := len(Descriptors()); n != len(All())+len(extensions) {
+		t.Errorf("registry holds %d descriptors, want %d", n, len(All())+len(extensions))
+	}
+	for _, d := range Descriptors() {
+		if d.Paper {
+			continue
+		}
+		if !extensions[d.Name] {
+			t.Errorf("unexpected non-paper algorithm %s in registry", d.Name)
+		}
+	}
+}
+
+// TestParallelGreedyRegistered: the tile-parallel solvers dispatch
+// through the registry on both dimensionalities, stay out of All(), and
+// return valid colorings.
+func TestParallelGreedyRegistered(t *testing.T) {
+	for _, alg := range All() {
+		if alg == PGLL || alg == PGLF {
+			t.Fatalf("%s must not be part of All()", alg)
+		}
+	}
+	g2 := grid.MustGrid2D(9, 7)
+	g3 := grid.MustGrid3D(5, 4, 3)
+	for v := range g2.W {
+		g2.W[v] = int64(v%5 + 1)
+	}
+	for v := range g3.W {
+		g3.W[v] = int64(v%4 + 1)
+	}
+	for _, alg := range []Algorithm{PGLL, PGLF} {
+		d, ok := Lookup(alg)
+		if !ok {
+			t.Fatalf("%s is not registered", alg)
+		}
+		if d.Paper {
+			t.Errorf("%s descriptor must have Paper=false", alg)
+		}
+		if d.Dims != DimBoth {
+			t.Errorf("%s dims = %s, want 2D/3D", alg, d.Dims)
+		}
+		opts := &core.SolveOptions{Parallelism: 3}
+		for _, s := range []grid.Stencil{g2, g3} {
+			c, err := Run(alg, s, opts)
+			if err != nil {
+				t.Fatalf("Run(%s, %dD): %v", alg, s.Dims(), err)
+			}
+			if err := c.Validate(s); err != nil {
+				t.Errorf("Run(%s, %dD): %v", alg, s.Dims(), err)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,453 @@
+// Package parallel implements the tile-parallel speculative greedy
+// solver for 9-pt and 27-pt stencils: the speculate/repair strategy that
+// scales classic distance-1 graph coloring (Gebremedhin–Manne style),
+// adapted to interval vertex coloring.
+//
+// The grid is partitioned into cache-sized tiles (2D: T×T blocks, 3D:
+// T×T×T bricks). All tiles are colored concurrently on a worker pool
+// honoring SolveOptions.Parallelism; inside a tile the placement is the
+// ordinary sequential lowest-fit greedy, so intra-tile edges are valid by
+// construction. Cross-tile (halo) neighbors are read optimistically —
+// whatever start the neighbor currently has, including "uncolored" — so
+// two adjacent tiles racing on a boundary edge may produce overlapping
+// intervals. A conflict-detection sweep over the tile boundaries then
+// finds every overlapping cross-tile pair and recolors the pair's loser —
+// the vertex with the higher (tile-id, vertex-id) — and the
+// detect/recolor loop runs to a fixpoint.
+//
+// Termination: winners never move, a recolored loser placed against a
+// winner's (stable) interval can never conflict with it again, and
+// same-tile losers are recolored sequentially by one worker; so in every
+// round the smallest (tile-id, vertex-id) member of each conflict
+// component leaves the conflict set for good — the set strictly shrinks.
+// As a belt-and-braces guarantee the solver switches to a single
+// sequential repair pass (which reaches a fixpoint in one sweep) if the
+// conflict set ever stops shrinking or a round budget is exhausted.
+//
+// All reads and writes of the shared start array during the concurrent
+// phases go through sync/atomic, so the solver is clean under the race
+// detector; the final coloring is published by the worker joins.
+package parallel
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"stencilivc/internal/core"
+	"stencilivc/internal/grid"
+)
+
+// Order selects the tile-local visit order of the speculative phase.
+type Order int
+
+// The tile-local orders mirroring the paper's greedy orderings.
+const (
+	// OrderLine visits each tile's cells line by line (tile-local GLL).
+	OrderLine Order = iota
+	// OrderWeightDesc visits each tile's cells by non-increasing weight,
+	// ties by vertex id (tile-local GLF).
+	OrderWeightDesc
+)
+
+// Default tile edge lengths: a 64×64 2D tile (4096 cells) and a 16³ 3D
+// brick (4096 cells) keep a tile's weights, starts, and halo inside the
+// L1/L2 working set while leaving thousands of tiles of parallel slack
+// on the benchmark grids.
+const (
+	DefaultTileSize2D = 64
+	DefaultTileSize3D = 16
+)
+
+// defaultMaxRounds bounds the parallel repair rounds before the solver
+// falls back to the guaranteed single-pass sequential repair. The
+// strict-shrink argument makes the loop terminate on its own; the cap
+// only limits worst-case latency on adversarial schedules.
+const defaultMaxRounds = 16
+
+// Config tunes the tile-parallel solver. The zero value is a valid
+// default configuration.
+type Config struct {
+	// TileSize is the tile edge length in cells; <= 0 picks
+	// DefaultTileSize2D / DefaultTileSize3D by dimensionality.
+	TileSize int
+	// Order is the tile-local visit order.
+	Order Order
+	// MaxRounds caps the parallel repair rounds before the sequential
+	// fallback; <= 0 picks defaultMaxRounds.
+	MaxRounds int
+	// SpeculateBlind makes the speculative phase ignore cross-tile
+	// neighbors entirely instead of reading their current state. Every
+	// halo conflict is then discovered by the repair loop, which makes
+	// the whole solve deterministic regardless of worker timing — and
+	// maximally stresses the repair machinery. Tests and the fuzz target
+	// rely on it; production solves are faster with optimistic reads.
+	SpeculateBlind bool
+}
+
+// Greedy colors s with the tile-parallel speculative greedy solver,
+// running up to opts.Parallelism tile workers. The returned coloring is
+// always complete and valid: the solver only returns once the
+// conflict-detection sweep reaches a fixpoint (zero cross-tile
+// conflicts), and intra-tile edges are valid by construction.
+//
+// With Parallelism <= 1 the speculative phase degenerates to a
+// deterministic sequential tile sweep; with more workers the final
+// coloring remains valid on every run but its maxcolor may vary slightly
+// with scheduling, because optimistic halo reads depend on tile timing.
+func Greedy(s grid.Stencil, cfg Config, opts *core.SolveOptions) (core.Coloring, error) {
+	fg, ok := s.(core.FixedGraph)
+	if !ok {
+		// Future stencil types without a fixed-degree kernel still solve
+		// correctly, just sequentially.
+		return core.GreedyColorOpts(s, s.LineOrder(), opts)
+	}
+	size := cfg.TileSize
+	if size <= 0 {
+		if s.Dims() == 3 {
+			size = DefaultTileSize3D
+		} else {
+			size = DefaultTileSize2D
+		}
+	}
+	tl, err := s.Tiling(size)
+	if err != nil {
+		return core.Coloring{}, err
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds
+	}
+	r := &run{
+		g: fg, s: s, tl: tl, cfg: cfg, opts: opts,
+		c:   core.NewColoring(s.Len()),
+		par: min(opts.Par(), len(tl.Tiles)),
+	}
+
+	if err := timed(opts, "pgreedy/speculate", r.speculate); err != nil {
+		return core.Coloring{}, err
+	}
+	if err := timed(opts, "pgreedy/repair", func() error {
+		return r.fixpoint(maxRounds)
+	}); err != nil {
+		return core.Coloring{}, err
+	}
+	return r.c, nil
+}
+
+// timed runs fn and charges its wall time to the named stats phase.
+func timed(opts *core.SolveOptions, name string, fn func() error) error {
+	defer core.PhaseTimer(opts.Sink(), name)()
+	return fn()
+}
+
+// run holds the shared state of one solve.
+type run struct {
+	g    core.FixedGraph
+	s    grid.Stencil
+	tl   *grid.Tiling
+	cfg  Config
+	opts *core.SolveOptions
+	c    core.Coloring
+	par  int
+
+	// boundary caches each tile's halo cells (built lazily by fixpoint).
+	boundary [][]int
+	// mark stamps each vertex with the repair round in which it was a
+	// conflict loser; round is the current stamp. Written only by the
+	// coordinator between rounds, read-only inside a round, so parallel
+	// repair placements can deterministically ignore cross-tile peers of
+	// the same round (skipMarked).
+	mark  []int32
+	round int32
+}
+
+// scratch is the per-worker state: fixed-size neighbor and occupancy
+// arrays (kept in one heap object per worker so the placement kernel
+// allocates nothing per vertex) plus reusable buffers and counters.
+type scratch struct {
+	nb         [core.MaxFixedDegree]int
+	occ        [core.MaxFixedDegree]core.Interval
+	verts      []int
+	placements int64
+	probes     int64
+}
+
+// Gather modes of the placement kernel: which neighbors a placement is
+// allowed to observe.
+const (
+	// readAll observes every neighbor's current (atomic) state: the
+	// optimistic speculative phase and the sequential repair pass.
+	readAll = iota
+	// blindCross ignores cross-tile neighbors entirely
+	// (Config.SpeculateBlind's speculative phase).
+	blindCross
+	// skipMarked ignores cross-tile neighbors that are losers of the
+	// current repair round (r.mark[u] == r.round). Same-tile losers are
+	// still observed — they are recolored sequentially by the same
+	// worker — so a parallel repair round can never create an intra-tile
+	// conflict, and its outcome depends only on the conflict set, never
+	// on worker timing.
+	skipMarked
+)
+
+// place computes the lowest-fit start of v against the shared state,
+// reading neighbor starts atomically and treating Unset as free.
+// ownTile is v's tile id (used by the blindCross/skipMarked modes).
+func (r *run) place(w *scratch, v, ownTile, mode int) int64 {
+	g, start := r.g, r.c.Start
+	deg := g.NeighborsFixed(v, &w.nb)
+	m := 0
+	for t := 0; t < deg; t++ {
+		u := w.nb[t]
+		switch mode {
+		case blindCross:
+			if r.tl.TileOf(u) != ownTile {
+				continue
+			}
+		case skipMarked:
+			if r.mark[u] == r.round && r.tl.TileOf(u) != ownTile {
+				continue
+			}
+		}
+		su := atomic.LoadInt64(&start[u])
+		if su == core.Unset {
+			continue
+		}
+		wu := g.Weight(u)
+		if wu <= 0 {
+			continue
+		}
+		w.occ[m] = core.Interval{Start: su, End: su + wu}
+		m++
+	}
+	w.placements++
+	w.probes += int64(m)
+	return core.LowestFit(w.occ[:m], g.Weight(v))
+}
+
+// forEach runs fn(worker-scratch, i) for i in [0, n) on r.par
+// goroutines, claiming indices from an atomic counter. The first error
+// (cancellation) stops all workers promptly; scratch counters are
+// flushed into the stats sink on return.
+func (r *run) forEach(n int, fn func(w *scratch, i int) error) error {
+	par := min(r.par, n)
+	if par <= 1 {
+		w := &scratch{}
+		defer r.flush(w)
+		for i := 0; i < n; i++ {
+			if err := fn(w, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		first   error
+	)
+	for k := 0; k < par; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := &scratch{}
+			defer r.flush(w)
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(w, i); err != nil {
+					errOnce.Do(func() { first = err })
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// flush moves a worker's local counters into the shared stats sink.
+func (r *run) flush(w *scratch) {
+	if sink := r.opts.Sink(); sink != nil {
+		sink.AddPlacements(w.placements)
+		sink.AddProbes(w.probes)
+		w.placements, w.probes = 0, 0
+	}
+}
+
+// tileOrder fills w.verts with tile t's cells in the configured
+// tile-local visit order.
+func (r *run) tileOrder(w *scratch, t grid.Tile) []int {
+	w.verts = t.AppendVertices(w.verts[:0])
+	if r.cfg.Order == OrderWeightDesc {
+		g, verts := r.g, w.verts
+		sort.Slice(verts, func(a, b int) bool {
+			wa, wb := g.Weight(verts[a]), g.Weight(verts[b])
+			if wa != wb {
+				return wa > wb
+			}
+			return verts[a] < verts[b]
+		})
+	}
+	return w.verts
+}
+
+// speculate is the optimistic phase: every tile is colored concurrently
+// with the sequential greedy, halo neighbors read at whatever state they
+// happen to be in.
+func (r *run) speculate() error {
+	start := r.c.Start
+	return r.forEach(len(r.tl.Tiles), func(w *scratch, i int) error {
+		if err := r.opts.Err(); err != nil {
+			return err
+		}
+		tile := r.tl.Tiles[i]
+		mode := readAll
+		if r.cfg.SpeculateBlind {
+			mode = blindCross
+		}
+		for k, v := range r.tileOrder(w, tile) {
+			if k%core.CtxCheckInterval == core.CtxCheckInterval-1 {
+				if err := r.opts.Err(); err != nil {
+					return err
+				}
+			}
+			atomic.StoreInt64(&start[v], r.place(w, v, tile.ID, mode))
+		}
+		return nil
+	})
+}
+
+// detect sweeps every tile's boundary cells and collects, per tile, the
+// conflict losers: for each overlapping cross-tile pair the vertex with
+// the higher (tile-id, vertex-id) must move. Boundary lists are in
+// ascending vertex-id order, so concatenating the per-tile loser lists
+// in tile order yields the deterministic repair order for free.
+func (r *run) detect(losersByTile [][]int) (total int, err error) {
+	g, tl, start := r.g, r.tl, r.c.Start
+	err = r.forEach(len(tl.Tiles), func(w *scratch, i int) error {
+		if err := r.opts.Err(); err != nil {
+			return err
+		}
+		losersByTile[i] = losersByTile[i][:0]
+		tid := tl.Tiles[i].ID
+		for _, v := range r.boundary[i] {
+			sv := atomic.LoadInt64(&start[v])
+			wv := g.Weight(v)
+			if sv == core.Unset || wv <= 0 {
+				continue
+			}
+			iv := core.Interval{Start: sv, End: sv + wv}
+			deg := g.NeighborsFixed(v, &w.nb)
+			for t := 0; t < deg; t++ {
+				u := w.nb[t]
+				tu := tl.TileOf(u)
+				if tu == tid {
+					continue
+				}
+				// Only the loser side records the conflict, so each
+				// conflicting vertex is appended exactly once (by its
+				// own tile's sweep) and winners are left untouched.
+				if tu > tid || (tu == tid && u > v) {
+					continue
+				}
+				su := atomic.LoadInt64(&start[u])
+				wu := g.Weight(u)
+				if su == core.Unset || wu <= 0 {
+					continue
+				}
+				if iv.Overlaps(core.Interval{Start: su, End: su + wu}) {
+					losersByTile[i] = append(losersByTile[i], v)
+					break
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, l := range losersByTile {
+		total += len(l)
+	}
+	return total, nil
+}
+
+// fixpoint drives the detect/recolor loop until no cross-tile conflict
+// remains. Parallel repair rounds recolor the losers of each tile
+// sequentially within the tile (one worker per tile group) so no new
+// intra-tile conflict can appear; if the conflict set ever fails to
+// shrink strictly — or maxRounds is exhausted — one sequential pass over
+// the remaining losers finishes the job deterministically.
+func (r *run) fixpoint(maxRounds int) error {
+	tl, start := r.tl, r.c.Start
+	r.boundary = make([][]int, len(tl.Tiles))
+	if err := r.forEach(len(tl.Tiles), func(_ *scratch, i int) error {
+		r.boundary[i] = tl.AppendBoundary(tl.Tiles[i], nil)
+		return nil
+	}); err != nil {
+		return err
+	}
+	losersByTile := make([][]int, len(tl.Tiles))
+	prev := -1
+	for round := 0; ; round++ {
+		nconf, err := r.detect(losersByTile)
+		if err != nil {
+			return err
+		}
+		if nconf == 0 {
+			return nil
+		}
+		sequential := round >= maxRounds || (prev >= 0 && nconf >= prev)
+		prev = nconf
+		// Clear every loser before any recoloring starts, so a round's
+		// placements see losers as uncolored rather than as their stale
+		// conflicting intervals; stamp them so skipMarked placements can
+		// tell this round's losers apart from settled vertices.
+		if r.mark == nil {
+			r.mark = make([]int32, r.s.Len())
+		}
+		r.round++
+		type group struct {
+			tile  int
+			verts []int
+		}
+		groups := make([]group, 0, len(losersByTile))
+		for i, verts := range losersByTile {
+			for _, v := range verts {
+				atomic.StoreInt64(&start[v], core.Unset)
+				r.mark[v] = r.round
+			}
+			if len(verts) > 0 {
+				groups = append(groups, group{tile: tl.Tiles[i].ID, verts: verts})
+			}
+		}
+		if sequential {
+			w := &scratch{}
+			for _, g := range groups {
+				for _, v := range g.verts {
+					atomic.StoreInt64(&start[v], r.place(w, v, g.tile, readAll))
+				}
+			}
+			r.flush(w)
+			continue // the next detect sweep verifies the fixpoint
+		}
+		if err := r.forEach(len(groups), func(w *scratch, i int) error {
+			if err := r.opts.Err(); err != nil {
+				return err
+			}
+			for _, v := range groups[i].verts {
+				atomic.StoreInt64(&start[v], r.place(w, v, groups[i].tile, skipMarked))
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+}

@@ -123,29 +123,34 @@ func TestSolveStats(t *testing.T) {
 }
 
 // TestAlgorithmRegistry: the public registry view exposes the paper's
-// seven plus BDL, and the paper flag matches Algorithms().
+// seven plus the extensions (BDL, PGLL, PGLF), and the paper flag
+// matches Algorithms().
 func TestAlgorithmRegistry(t *testing.T) {
 	infos := stencilivc.AlgorithmRegistry()
 	paper := map[stencilivc.Algorithm]bool{}
 	for _, alg := range stencilivc.Algorithms() {
 		paper[alg] = true
 	}
-	var foundBDL bool
+	extensions := map[stencilivc.Algorithm]bool{
+		stencilivc.BDL: false, stencilivc.PGLL: false, stencilivc.PGLF: false,
+	}
 	for _, d := range infos {
-		if d.Name == stencilivc.BDL {
-			foundBDL = true
+		if _, isExt := extensions[d.Name]; isExt {
+			extensions[d.Name] = true
 			if d.Paper {
-				t.Error("BDL must not be flagged as a paper algorithm")
+				t.Errorf("%s must not be flagged as a paper algorithm", d.Name)
 			}
 		} else if !paper[d.Name] {
-			t.Errorf("registry holds %s, not in Algorithms() and not BDL", d.Name)
+			t.Errorf("registry holds %s, not in Algorithms() and not an extension", d.Name)
 		}
 	}
-	if !foundBDL {
-		t.Error("registry missing BDL")
+	for name, found := range extensions {
+		if !found {
+			t.Errorf("registry missing extension %s", name)
+		}
 	}
-	if len(infos) != len(paper)+1 {
-		t.Errorf("registry size %d, want %d", len(infos), len(paper)+1)
+	if len(infos) != len(paper)+len(extensions) {
+		t.Errorf("registry size %d, want %d", len(infos), len(paper)+len(extensions))
 	}
 }
 

@@ -88,6 +88,15 @@ const (
 	// BDL is an extension beyond the paper: per-layer BDP with a global
 	// post pass (3D only, not part of Algorithms()).
 	BDL = heuristics.BDL
+
+	// PGLL and PGLF are extensions beyond the paper: the tile-parallel
+	// speculative greedy solvers of internal/parallel, with tile-local
+	// line-by-line and largest-first orders. They honor
+	// SolveOptions.Parallelism as the tile-worker count, so -par (and
+	// Parallelism > 1) accelerates a single solve, not just the
+	// portfolio. Not part of Algorithms().
+	PGLL = heuristics.PGLL
+	PGLF = heuristics.PGLF
 )
 
 // Algorithms returns all seven algorithm names in the paper's order.
