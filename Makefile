@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench microbench experiments experiments-full stkde cover clean
+.PHONY: all build vet test race check doclint linkcheck bench microbench experiments experiments-full stkde cover clean
 
 all: build check
 
@@ -16,17 +16,29 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: static analysis plus the full suite under the
-# race detector, so the portfolio's concurrency paths are race-checked
-# on every build (it is part of the default `make` flow via `all`).
-check: vet race
+# doclint fails on any exported identifier without a doc comment (and on
+# packages without a package comment); see cmd/doclint.
+doclint:
+	$(GO) run ./cmd/doclint .
+
+# linkcheck fails on dead intra-repo links in the markdown docs; see
+# cmd/linkcheck.
+linkcheck:
+	$(GO) run ./cmd/linkcheck .
+
+# check is the CI gate: static analysis, the full suite under the race
+# detector (so the portfolio's concurrency paths are race-checked on
+# every build), and the documentation lints. It is part of the default
+# `make` flow via `all`.
+check: vet race doclint linkcheck
 
 # bench runs the committed performance suite (placement kernel, figure
 # runtimes, sequential-vs-parallel scaling) and writes machine-readable
-# numbers to BENCH_PR2.json. Use `make bench BENCH_FLAGS=-quick` for a
-# fast smoke run.
+# numbers to BENCH_PR2.json, plus a Prometheus snapshot of the solver
+# metrics next to it. Use `make bench BENCH_FLAGS=-quick` for a fast
+# smoke run.
 bench:
-	$(GO) run ./cmd/ivcbench $(BENCH_FLAGS) -out BENCH_PR2.json
+	$(GO) run ./cmd/ivcbench $(BENCH_FLAGS) -out BENCH_PR2.json -metrics BENCH_PR2.metrics.prom
 
 # microbench runs every in-tree testing.B benchmark instead.
 microbench:

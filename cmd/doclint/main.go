@@ -1,0 +1,162 @@
+// Command doclint verifies that every package in the module has a
+// package comment and that every exported identifier — functions,
+// types, methods, and the names of exported consts and vars — carries a
+// doc comment. It exits non-zero listing each violation, so "make
+// doclint" keeps the documentation pass from regressing.
+//
+// Usage:
+//
+//	doclint [dir ...]        lint these roots (default ".")
+//
+// Directories named testdata, hidden directories, and _-prefixed
+// directories are skipped, as are *_test.go files, mirroring the go
+// tool's own package discovery.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var violations []string
+	for _, root := range roots {
+		v, err := lintTree(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		violations = append(violations, v...)
+	}
+	sort.Strings(violations)
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifiers\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+// lintTree walks root and lints every directory containing Go files.
+func lintTree(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		v, err := lintDir(path)
+		if err != nil {
+			return err
+		}
+		out = append(out, v...)
+		return nil
+	})
+	return out, err
+}
+
+// lintDir parses one directory's non-test Go files and reports every
+// exported identifier without a doc comment. Directories without Go
+// files lint clean.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s %s is undocumented", p.Filename, p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		// doc.New mutates the AST (it moves comments onto Doc fields and
+		// merges files), which is exactly the resolution the go doc tool
+		// applies — so a comment that "go doc" would show counts here.
+		d := doc.New(pkg, dir, 0)
+		if d.Doc == "" {
+			// Attribute the missing package comment to the first file.
+			var first string
+			for name := range pkg.Files {
+				if first == "" || name < first {
+					first = name
+				}
+			}
+			out = append(out, fmt.Sprintf("%s:1: package %s has no package comment", first, d.Name))
+		}
+		for _, f := range d.Funcs {
+			if f.Doc == "" {
+				report(f.Decl.Pos(), "function", f.Name)
+			}
+		}
+		for _, t := range d.Types {
+			if t.Doc == "" {
+				report(t.Decl.Pos(), "type", t.Name)
+			}
+			for _, m := range t.Methods {
+				if m.Doc == "" {
+					report(m.Decl.Pos(), "method", t.Name+"."+m.Name)
+				}
+			}
+			for _, f := range t.Funcs {
+				if f.Doc == "" {
+					report(f.Decl.Pos(), "function", f.Name)
+				}
+			}
+			out = append(out, lintValues(fset, t.Consts, "const")...)
+			out = append(out, lintValues(fset, t.Vars, "var")...)
+		}
+		out = append(out, lintValues(fset, d.Consts, "const")...)
+		out = append(out, lintValues(fset, d.Vars, "var")...)
+	}
+	// Filter unexported identifiers: doc.New with mode 0 already only
+	// surfaces exported ones, but value groups may mix visibility.
+	return out, nil
+}
+
+// lintValues reports undocumented exported names in const/var groups. A
+// group comment on the declaration covers every name in the group; a
+// per-spec comment covers that spec's names.
+func lintValues(fset *token.FileSet, vals []*doc.Value, what string) []string {
+	var out []string
+	for _, v := range vals {
+		if v.Doc != "" {
+			continue
+		}
+		for _, spec := range v.Decl.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || vs.Doc != nil || vs.Comment != nil {
+				continue
+			}
+			for _, n := range vs.Names {
+				if !n.IsExported() {
+					continue
+				}
+				p := fset.Position(n.Pos())
+				out = append(out, fmt.Sprintf("%s:%d: %s %s is undocumented", p.Filename, p.Line, what, n.Name))
+			}
+		}
+	}
+	return out
+}

@@ -11,6 +11,7 @@
 //	experiments -table 1        only one table (1, 2, 3)
 //	experiments -ablations      design-choice comparisons (see DESIGN.md)
 //	experiments -out results    CSV output directory (default "results")
+//	experiments -metrics m.prom Prometheus snapshot of the suite solves
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"stencilivc/internal/datasets"
 	"stencilivc/internal/experiments"
+	"stencilivc/internal/obsv"
 	"stencilivc/internal/perfprof"
 )
 
@@ -37,6 +39,7 @@ func run() error {
 	table := flag.Int("table", 0, "regenerate only this table (0 = everything)")
 	ablations := flag.Bool("ablations", false, "run only the design-choice ablations")
 	outDir := flag.String("out", "results", "directory for CSV output")
+	metricsOut := flag.String("metrics", "", "write a Prometheus snapshot of the suite solves to this file")
 	flag.Parse()
 
 	if *ablations {
@@ -51,6 +54,11 @@ func run() error {
 	opts := experiments.Quick()
 	if *full {
 		opts = experiments.Full()
+	}
+	var reg *obsv.Registry
+	if *metricsOut != "" {
+		reg = obsv.NewRegistry()
+		opts.Metrics = obsv.NewSolveMetrics(reg)
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
@@ -165,6 +173,20 @@ func run() error {
 	if wantTable(3) {
 		fmt.Println("=== " + experiments.MakeTable3(rep2).Format("2D"))
 		fmt.Println("=== " + experiments.MakeTable3(rep3).Format("3D"))
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := reg.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics snapshot -> %s\n", *metricsOut)
 	}
 	return nil
 }

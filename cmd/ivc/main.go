@@ -12,6 +12,8 @@
 //	ivc -alg BDP -in g.ivc -simulate 4 -gantt   draw the schedule
 //	ivc -alg PGLL -par 8 -in g.ivc       tile-parallel speculative solve
 //	ivc -alg BDP -in g.ivc -cpuprofile cpu.pprof -memprofile mem.pprof
+//	ivc -alg PGLL -par 8 -in g.ivc -trace out.json   phase spans for chrome://tracing
+//	ivc -alg BDP -in g.ivc -http :6060 -linger 30s   serve /metrics, /debug/vars, /debug/pprof
 //
 // Instances use the text format of internal/grid: a header line
 // "ivc2d X Y" or "ivc3d X Y Z" followed by the cell weights.
@@ -22,6 +24,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -39,7 +44,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	algName := flag.String("alg", "BDP", "algorithm (GLL, GZO, GLF, GKF, SGK, BD, BDP, BDL, PGLL, PGLF, best, all)")
 	inPath := flag.String("in", "-", "instance file ('-' for stdin)")
 	print := flag.Bool("print", false, "print the start color of every vertex")
@@ -51,6 +56,9 @@ func run() error {
 	gantt := flag.Bool("gantt", false, "with -simulate, draw the schedule as a Gantt chart")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write phase spans to this file in Chrome trace format")
+	httpAddr := flag.String("http", "", "serve /metrics (Prometheus), /debug/vars (expvar), and /debug/pprof on this address")
+	linger := flag.Duration("linger", 0, "with -http, keep serving this long after the solve finishes")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -99,6 +107,15 @@ func run() error {
 		defer cancel()
 	}
 	opts := &stencilivc.SolveOptions{Ctx: ctx, Parallelism: *par, Stats: &stencilivc.Stats{}}
+	obsDone, err := setupObs(*tracePath, *httpAddr, *linger, opts)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := obsDone(); err == nil {
+			err = e
+		}
+	}()
 
 	var s stencilivc.Stencil
 	var lb int64
@@ -153,6 +170,56 @@ func run() error {
 	}
 	reportStats(*stats, opts)
 	return finish(s, last, lb, *print, *exactBudget, *workers, *gantt, g2, g3)
+}
+
+// setupObs attaches the requested observability sinks to opts: a trace
+// when -trace was given, and a metrics registry served over HTTP (with
+// expvar and pprof riding on the default mux) when -http was given. The
+// returned finalizer writes the Chrome trace file and keeps the HTTP
+// endpoints up for the -linger window; run defers it so every exit path
+// flushes the trace.
+func setupObs(tracePath, httpAddr string, linger time.Duration,
+	opts *stencilivc.SolveOptions) (func() error, error) {
+
+	var tr *stencilivc.Trace
+	if tracePath != "" {
+		tr = stencilivc.NewTrace()
+		opts.Trace = tr
+	}
+	if httpAddr != "" {
+		reg := stencilivc.NewMetricsRegistry()
+		opts.Metrics = stencilivc.NewSolveMetrics(reg)
+		reg.Publish("ivc")
+		http.Handle("/metrics", stencilivc.MetricsHandler(reg))
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("serving /metrics, /debug/vars, /debug/pprof on http://%s\n", ln.Addr())
+		srv := &http.Server{Handler: http.DefaultServeMux}
+		go srv.Serve(ln)
+	}
+	return func() error {
+		if tr != nil {
+			f, err := os.Create(tracePath)
+			if err != nil {
+				return err
+			}
+			if err := tr.WriteChrome(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("trace: %d spans -> %s\n", tr.Len(), tracePath)
+		}
+		if httpAddr != "" && linger > 0 {
+			fmt.Printf("lingering %s for scrapes\n", linger)
+			time.Sleep(linger)
+		}
+		return nil
+	}, nil
 }
 
 // reportStats prints the solver counters when -stats was requested.

@@ -7,6 +7,7 @@
 //
 //	ivcbench -out BENCH_PR2.json           full suite (2048^2 2D, 128^3 3D)
 //	ivcbench -quick -out /dev/stdout       small grids, for smoke runs
+//	ivcbench -metrics BENCH.metrics.prom   also snapshot solver metrics
 //
 // The suite covers:
 //   - PlaceLowest micro-kernels on 9-pt and 27-pt stencils (the
@@ -68,7 +69,15 @@ func run() error {
 	out := flag.String("out", "BENCH_PR2.json", "output JSON file ('-' for stdout)")
 	quick := flag.Bool("quick", false, "use small grids (fast smoke run)")
 	seed := flag.Int64("seed", 1, "weight RNG seed for the scaling grids")
+	metricsOut := flag.String("metrics", "", "also write a Prometheus snapshot of the solver metrics to this file")
 	flag.Parse()
+
+	var reg *stencilivc.MetricsRegistry
+	var sm *stencilivc.SolveMetrics
+	if *metricsOut != "" {
+		reg = stencilivc.NewMetricsRegistry()
+		sm = stencilivc.NewSolveMetrics(reg)
+	}
 
 	rep := &Report{
 		GeneratedUnix: time.Now().Unix(),
@@ -85,11 +94,11 @@ func run() error {
 		size2, size3 = 256, 32
 	}
 
-	benchPlaceLowest(rep)
-	if err := benchFigRuntimes(rep); err != nil {
+	benchPlaceLowest(rep, sm)
+	if err := benchFigRuntimes(rep, sm); err != nil {
 		return err
 	}
-	if err := benchParallel(rep, size2, size3, *seed); err != nil {
+	if err := benchParallel(rep, size2, size3, *seed, sm); err != nil {
 		return err
 	}
 
@@ -99,10 +108,36 @@ func run() error {
 	}
 	data = append(data, '\n')
 	if *out == "-" {
-		_, err = os.Stdout.Write(data)
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(*out, data, 0o644)
+	return writeMetrics(*metricsOut, reg)
+}
+
+// writeMetrics dumps the accumulated solver metrics as a Prometheus
+// text snapshot, so a bench run leaves behind not just timings but the
+// work the solvers actually did (placements, probes, conflicts,
+// occupancy-length distribution).
+func writeMetrics(path string, reg *stencilivc.MetricsRegistry) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	note("metrics snapshot -> %s", path)
+	return nil
 }
 
 // note prints a progress line to stderr so long runs are watchable.
@@ -124,8 +159,9 @@ func record(rep *Report, name string, br testing.BenchmarkResult) *Result {
 }
 
 // benchPlaceLowest measures the steady-state placement kernel on interior
-// stencil neighborhoods; allocs/op must be 0.
-func benchPlaceLowest(rep *Report) {
+// stencil neighborhoods; allocs/op must be 0 — including with the metrics
+// bundle attached, since its counters are plain atomics.
+func benchPlaceLowest(rep *Report, sm *stencilivc.SolveMetrics) {
 	run := func(name string, g grid.Stencil, w []int64) {
 		rng := rand.New(rand.NewSource(1))
 		for v := range w {
@@ -135,7 +171,7 @@ func benchPlaceLowest(rep *Report) {
 		for v := range c.Start {
 			c.Start[v] = rng.Int63n(60)
 		}
-		var s core.FitScratch
+		s := core.FitScratch{Metrics: sm}
 		v := 0
 		br := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -157,7 +193,7 @@ func benchPlaceLowest(rep *Report) {
 
 // benchFigRuntimes reruns the per-algorithm runtime comparisons of
 // Figures 5a (2D) and 7a (3D) on the largest Dengue suite instances.
-func benchFigRuntimes(rep *Report) error {
+func benchFigRuntimes(rep *Report, sm *stencilivc.SolveMetrics) error {
 	s2, err := datasets.Suite2D(datasets.SuiteOptions{Seed: 1, Stride: 2, MaxDim: 32})
 	if err != nil {
 		return err
@@ -201,7 +237,7 @@ func benchFigRuntimes(rep *Report) error {
 		var mc int64
 		br := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				c, err := stencilivc.Solve(alg, g2, nil)
+				c, err := stencilivc.Solve(alg, g2, &stencilivc.SolveOptions{Metrics: sm})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -215,7 +251,7 @@ func benchFigRuntimes(rep *Report) error {
 		var mc int64
 		br := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				c, err := stencilivc.Solve(alg, g3, nil)
+				c, err := stencilivc.Solve(alg, g3, &stencilivc.SolveOptions{Metrics: sm})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -231,7 +267,7 @@ func benchFigRuntimes(rep *Report) error {
 // against sequential GLL on a size2^2 2D grid and a size3^3 3D grid, at
 // worker counts 1, 2, 4, ..., NumCPU. Speedup is sequential ns/op over
 // parallel ns/op; on a single-core runner it stays near 1.
-func benchParallel(rep *Report, size2, size3 int, seed int64) error {
+func benchParallel(rep *Report, size2, size3 int, seed int64, sm *stencilivc.SolveMetrics) error {
 	parSweep := []int{1}
 	for p := 2; p <= runtime.NumCPU(); p *= 2 {
 		parSweep = append(parSweep, p)
@@ -242,7 +278,7 @@ func benchParallel(rep *Report, size2, size3 int, seed int64) error {
 		var solveErr error
 		br := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				c, err := stencilivc.Solve(alg, s, &stencilivc.SolveOptions{Parallelism: par})
+				c, err := stencilivc.Solve(alg, s, &stencilivc.SolveOptions{Parallelism: par, Metrics: sm})
 				if err != nil {
 					solveErr = err
 					b.FailNow()

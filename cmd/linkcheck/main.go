@@ -1,0 +1,114 @@
+// Command linkcheck verifies the intra-repository links of markdown
+// files: every relative link target ([text](path) and [text](path#frag))
+// must exist on disk, resolved against the linking file's directory.
+// External links (http, https, mailto) are not fetched — the tool is
+// offline by design — and pure fragment links (#section) are assumed to
+// be in-file anchors. It exits non-zero listing each dead link, so "make
+// linkcheck" keeps the documentation cross-references from rotting.
+//
+// Usage:
+//
+//	linkcheck README.md DESIGN.md         check these files
+//	linkcheck .                           check every *.md under a directory
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links [text](target); images ![alt](t)
+// match too via the optional bang. Reference-style definitions are rare
+// in this repo and intentionally out of scope.
+var linkRE = regexp.MustCompile(`!?\[[^\]\n]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"."}
+	}
+	var files []string
+	for _, a := range args {
+		fi, err := os.Stat(a)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+		if !fi.IsDir() {
+			files = append(files, a)
+			continue
+		}
+		err = filepath.WalkDir(a, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if path != a && (strings.HasPrefix(name, ".") || name == "testdata" || name == "node_modules") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(d.Name(), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+	}
+
+	dead := 0
+	for _, f := range files {
+		for _, bad := range checkFile(f) {
+			fmt.Println(bad)
+			dead++
+		}
+	}
+	if dead > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d dead links\n", dead)
+		os.Exit(1)
+	}
+}
+
+// checkFile returns one message per dead relative link in the file.
+func checkFile(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var out []string
+	dir := filepath.Dir(path)
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skipTarget(target) {
+				continue
+			}
+			// Drop a #fragment; the file part is what must exist.
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				out = append(out, fmt.Sprintf("%s:%d: dead link %s", path, i+1, m[1]))
+			}
+		}
+	}
+	return out
+}
+
+// skipTarget reports whether a link target is outside the checker's
+// scope: absolute URLs, mail links, and in-file anchors.
+func skipTarget(t string) bool {
+	return strings.HasPrefix(t, "http://") || strings.HasPrefix(t, "https://") ||
+		strings.HasPrefix(t, "mailto:") || strings.HasPrefix(t, "#")
+}

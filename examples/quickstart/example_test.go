@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"stencilivc"
+)
+
+// SolveWithTrace is the observability entry point this example
+// demonstrates; it forwards to stencilivc.SolveWithTrace, which runs a
+// solve with a fresh tracer attached and hands the recorded spans back.
+func SolveWithTrace(alg stencilivc.Algorithm, s stencilivc.Stencil,
+	opts *stencilivc.SolveOptions) (stencilivc.Coloring, *stencilivc.Trace, error) {
+	return stencilivc.SolveWithTrace(alg, s, opts)
+}
+
+// ExampleSolveWithTrace traces a solve and reads its phase spans: the
+// solve itself plus BDP's decompose and post-optimization phases. The
+// same Trace can be written to a file with WriteChrome and opened in a
+// Chrome trace viewer (see the README's "Observing a solve" section).
+func ExampleSolveWithTrace() {
+	g := stencilivc.MustGrid2D(64, 64)
+	for v := range g.W {
+		g.W[v] = int64(v%7) + 1
+	}
+
+	_, tr, err := SolveWithTrace(stencilivc.BDP, g, nil)
+	if err != nil {
+		panic(err)
+	}
+
+	// The heaviest of the top-3 spans is the solve itself; the other two
+	// are the phases it contains.
+	top := tr.Top(3)
+	fmt.Println("heaviest span:", top[0].Name)
+	var phases []string
+	for _, sp := range top[1:] {
+		phases = append(phases, sp.Name)
+	}
+	sort.Strings(phases)
+	fmt.Println("phases:", phases)
+	fmt.Println("spans recorded:", tr.Len())
+	// Output:
+	// heaviest span: solve:BDP
+	// phases: [BDP/decompose BDP/post]
+	// spans recorded: 3
+}

@@ -1,11 +1,3 @@
-// Package bounds computes the lower bounds of Section III of the paper:
-// the trivial edge/pair bound, the clique bounds from the K4 blocks of
-// 9-pt stencils and K8 blocks of 27-pt stencils, and the odd-cycle
-// minchain3 bound of Theorem 1.
-//
-// Every bound B guarantees maxcolor* >= B on its graph, because the
-// optimal coloring of any subgraph is a lower bound for the whole graph
-// (Section III, preamble).
 package bounds
 
 import (

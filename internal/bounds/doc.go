@@ -1,0 +1,13 @@
+// Package bounds computes the lower bounds of Section III of the paper:
+// the trivial edge/pair bound, the clique bounds from the K4 blocks of
+// 9-pt stencils and K8 blocks of 27-pt stencils (Section III-A), and the
+// odd-cycle minchain3 bound of Theorem 1 (Section III-B).
+//
+// The invariant every bound rests on is subgraph monotonicity
+// (Section III, preamble): the optimal maxcolor of any subgraph is a
+// lower bound on the optimal maxcolor of the whole graph, because a valid
+// coloring restricted to a subgraph stays valid. So every bound B here
+// guarantees maxcolor* >= B, and a heuristic that reaches B is certified
+// optimal — the certification route the experiments use in place of the
+// paper's MILP runs.
+package bounds

@@ -1,0 +1,31 @@
+// Package core defines the fundamental types of the interval vertex
+// coloring (IVC) problem: color intervals, weighted graphs, colorings,
+// solve options, and the lowest-fit interval placement engine shared by
+// every greedy heuristic in this module.
+//
+// Terminology follows Durrman & Saule, "Coloring the Vertices of 9-pt and
+// 27-pt Stencils with Intervals" (IPPS 2022), Section II: a vertex v of
+// weight w(v) is colored with the half-open interval
+// [start(v), start(v)+w(v)); a coloring is valid when neighboring vertices
+// receive disjoint intervals, and its cost is
+// maxcolor = max_v start(v)+w(v).
+//
+// The package upholds two invariants the rest of the module builds on:
+//
+//   - Validity by construction. LowestFit returns the smallest start whose
+//     interval avoids every occupied neighbor interval it is shown, so a
+//     greedy pass that always places against all colored neighbors can
+//     only produce valid colorings (Section V-A).
+//
+//   - An allocation-free hot path. FitScratch.PlaceLowest on a FixedGraph
+//     (both stencils) performs zero heap allocations per placement: the
+//     neighbor ids and occupancy list live in fixed-size arrays inside the
+//     scratch, sized by MaxFixedDegree = 26, the 27-pt stencil's degree.
+//     Tests pin this to 0 allocs/op; attaching Stats or an obsv metrics
+//     bundle must not break it.
+//
+// SolveOptions threads the cross-cutting concerns — context cancellation,
+// parallelism, a Stats sink, and the obsv trace/metrics handles — through
+// every solver. A nil *SolveOptions is always valid and means "defaults,
+// nothing observed"; all accessors are nil-receiver-safe.
+package core

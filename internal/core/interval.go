@@ -1,13 +1,3 @@
-// Package core defines the fundamental types of the interval vertex
-// coloring (IVC) problem: color intervals, weighted graphs, colorings,
-// and the lowest-fit interval placement engine shared by every greedy
-// heuristic in this module.
-//
-// Terminology follows Durrman & Saule, "Coloring the Vertices of 9-pt and
-// 27-pt Stencils with Intervals" (IPPS 2022): a vertex v of weight w(v) is
-// colored with the half-open interval [start(v), start(v)+w(v)); a coloring
-// is valid when neighboring vertices receive disjoint intervals, and its
-// cost is maxcolor = max_v start(v)+w(v).
 package core
 
 import "fmt"

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+
+	"stencilivc/internal/obsv"
 )
 
 // smallSortMax is the occupancy-list length up to which LowestFit sorts
@@ -73,6 +75,10 @@ type FitScratch struct {
 	fixI [MaxFixedDegree]Interval
 	// Stats is an optional sink for placement/probe counters.
 	Stats *Stats
+	// Metrics is an optional metrics bundle; when non-nil every
+	// PlaceLowest also feeds the vertices/probes counters and the
+	// occupancy-list-length histogram with lock-free increments.
+	Metrics *obsv.SolveMetrics
 }
 
 // PlaceLowest computes the lowest feasible start for vertex v given the
@@ -102,6 +108,11 @@ func (s *FitScratch) PlaceLowest(g Graph, c Coloring, v int, skip int) int64 {
 		s.Stats.AddPlacements(1)
 		s.Stats.AddProbes(int64(len(s.occ)))
 	}
+	if s.Metrics != nil {
+		s.Metrics.Vertices.Add(1)
+		s.Metrics.Probes.Add(int64(len(s.occ)))
+		s.Metrics.OccLen.ObserveInt(int64(len(s.occ)))
+	}
 	return LowestFit(s.occ, g.Weight(v))
 }
 
@@ -129,6 +140,11 @@ func (s *FitScratch) placeFixed(g FixedGraph, c Coloring, v int, skip int) int64
 		s.Stats.AddPlacements(1)
 		s.Stats.AddProbes(int64(m))
 	}
+	if s.Metrics != nil {
+		s.Metrics.Vertices.Add(1)
+		s.Metrics.Probes.Add(int64(m))
+		s.Metrics.OccLen.ObserveInt(int64(m))
+	}
 	return LowestFit(s.fixI[:m], g.Weight(v))
 }
 
@@ -151,7 +167,7 @@ func GreedyColorOpts(g Graph, order []int, opts *SolveOptions) (Coloring, error)
 		return Coloring{}, err
 	}
 	c := NewColoring(g.Len())
-	s := FitScratch{Stats: opts.Sink()}
+	s := FitScratch{Stats: opts.Sink(), Metrics: opts.Meters()}
 	for i, v := range order {
 		if i%CtxCheckInterval == 0 {
 			if err := opts.Err(); err != nil {
@@ -185,6 +201,7 @@ type PermError struct {
 	HasBad    bool
 }
 
+// Error formats the violation, naming the offending vertex when known.
 func (e *PermError) Error() string {
 	if e.HasBad {
 		return fmt.Sprintf("core: order is not a permutation (bad or repeated vertex %d)", e.Bad)

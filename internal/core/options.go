@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"stencilivc/internal/obsv"
 )
 
 // SolveOptions carries the cross-cutting concerns of a solve: a
@@ -36,6 +38,21 @@ type SolveOptions struct {
 	// Stats, when non-nil, accumulates placement counts, probe counts,
 	// and per-phase wall times across the solve.
 	Stats *Stats
+	// Trace, when non-nil, records hierarchical per-phase spans (solve,
+	// traversal/placement phases, tile speculation, repair rounds) with
+	// wall and CPU time; export with Trace.WriteChrome. A nil Trace
+	// disables tracing at zero cost.
+	Trace *obsv.Trace
+	// Metrics, when non-nil, receives the solver counter taxonomy
+	// (vertices colored, probes, conflicts, repair rounds, occupancy-list
+	// lengths, maxcolor) with lock-free increments. A nil Metrics
+	// disables the counters at zero cost.
+	Metrics *obsv.SolveMetrics
+	// Phase is the span under which nested phases should record; the
+	// registry dispatcher sets it (via WithPhase) to the solve span so
+	// solver-internal phases nest correctly. Solver code should not set
+	// it directly.
+	Phase *obsv.Span
 }
 
 // Context returns the effective context: o.Ctx, or context.Background()
@@ -73,6 +90,77 @@ func (o *SolveOptions) Sink() *Stats {
 	}
 	return o.Stats
 }
+
+// Tracer returns the trace, or nil when no receiver or no trace is
+// configured; all *obsv.Trace methods are nil-receiver-safe.
+func (o *SolveOptions) Tracer() *obsv.Trace {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+// Meters returns the solve metrics bundle, or nil when no receiver or
+// no bundle is configured; all bundle metrics are nil-receiver-safe.
+func (o *SolveOptions) Meters() *obsv.SolveMetrics {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// WithPhase returns a shallow copy of o whose nested phases record under
+// sp. The copy shares Ctx, Stats, Trace, and Metrics with o, so the
+// dispatcher can scope a solve's span without disturbing concurrent
+// users of the original options. A nil o with a nil sp stays nil.
+func (o *SolveOptions) WithPhase(sp *obsv.Span) *SolveOptions {
+	if o == nil {
+		if sp == nil {
+			return nil
+		}
+		return &SolveOptions{Phase: sp}
+	}
+	c := *o
+	c.Phase = sp
+	return &c
+}
+
+// StartSpan opens name as a child of the current phase span (set by the
+// dispatcher), or as a root span on the tracer when no phase is open.
+// It returns nil — a valid no-op span — when tracing is disabled.
+func (o *SolveOptions) StartSpan(name string) *obsv.Span {
+	if o == nil {
+		return nil
+	}
+	if o.Phase != nil {
+		return o.Phase.Child(name)
+	}
+	return o.Trace.Start(name)
+}
+
+// StartPhase opens a named solver phase against every configured sink —
+// a span on the tracer and, on stop, an AddPhase record in the stats
+// sink — and returns the stop function, meant for defer:
+//
+//	defer core.StartPhase(opts, "pgreedy/speculate")()
+//
+// With no sinks configured the returned function is a shared no-op and
+// nothing is allocated.
+func StartPhase(o *SolveOptions, name string) func() {
+	sp := o.StartSpan(name)
+	st := o.Sink()
+	if sp == nil && st == nil {
+		return noopStop
+	}
+	t0 := time.Now()
+	return func() {
+		sp.End()
+		st.AddPhase(name, time.Since(t0))
+	}
+}
+
+// noopStop is the shared stop function of unobserved phases.
+var noopStop = func() {}
 
 // CtxCheckInterval is the granularity at which per-vertex solver loops
 // poll for cancellation: every this-many placements (roughly one grid

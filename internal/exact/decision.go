@@ -25,6 +25,7 @@ const (
 	Infeasible
 )
 
+// String renders the verdict as "feasible", "infeasible", or "unknown".
 func (v Verdict) String() string {
 	switch v {
 	case Feasible:

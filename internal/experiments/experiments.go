@@ -15,6 +15,7 @@ import (
 	"stencilivc/internal/exact"
 	"stencilivc/internal/grid"
 	"stencilivc/internal/heuristics"
+	"stencilivc/internal/obsv"
 	"stencilivc/internal/perfprof"
 )
 
@@ -35,6 +36,10 @@ type Options struct {
 	// vertices (0 = no gate). Large LB-mismatched instances play the role
 	// of the paper's MILP-unsolved ones.
 	MaxExactVertices int
+	// Metrics, when non-nil, receives every suite solve's counters
+	// (placements, probes, maxcolor, wall time); cmd/experiments wires it
+	// when -metrics is given.
+	Metrics *obsv.SolveMetrics
 }
 
 // Quick returns a configuration that runs the whole harness in seconds.
@@ -54,6 +59,9 @@ type RunResult struct {
 	// Stats aggregates solver work (placements, probes, per-algorithm
 	// wall time) across the whole sweep; cmd/experiments reports it.
 	Stats *core.Stats
+	// metrics is the optional bundle from Options.Metrics; solveOpts
+	// threads it into every suite solve.
+	metrics *obsv.SolveMetrics
 	// LowerBound[instance] is the max-clique (K4/K8) lower bound.
 	LowerBound map[string]int64
 	// BestValue[instance] is the best maxcolor across algorithms.
@@ -76,7 +84,7 @@ func Run2DSuite(opts Options) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := newRunResult()
+	res := newRunResult(opts)
 	for _, in := range suite {
 		g, err := grid.FromWeights2D(in.X, in.Y, in.Weights)
 		if err != nil {
@@ -112,7 +120,7 @@ func Run3DSuite(opts Options) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := newRunResult()
+	res := newRunResult(opts)
 	for _, in := range suite {
 		g, err := grid.FromWeights3D(in.X, in.Y, in.Z, in.Weights)
 		if err != nil {
@@ -139,9 +147,10 @@ func Run3DSuite(opts Options) (*RunResult, error) {
 	return res, nil
 }
 
-func newRunResult() *RunResult {
+func newRunResult(opts Options) *RunResult {
 	return &RunResult{
 		Stats:      &core.Stats{},
+		metrics:    opts.Metrics,
 		LowerBound: map[string]int64{},
 		BestValue:  map[string]int64{},
 		Dataset:    map[string]string{},
@@ -152,9 +161,10 @@ func newRunResult() *RunResult {
 
 // solveOpts returns the options every suite solve runs under: no
 // cancellation, sequential (per-algorithm runtimes stay comparable to
-// the paper's single-threaded measurements), sweeping stats into r.Stats.
+// the paper's single-threaded measurements), sweeping stats into r.Stats
+// and metrics into the bundle configured in Options, if any.
 func (r *RunResult) solveOpts() *core.SolveOptions {
-	return &core.SolveOptions{Stats: r.Stats}
+	return &core.SolveOptions{Stats: r.Stats, Metrics: r.metrics}
 }
 
 func (r *RunResult) add(instance, alg string, value int64, runtime float64) {

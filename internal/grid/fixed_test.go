@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"stencilivc/internal/core"
+	"stencilivc/internal/obsv"
 )
 
 // genericOnly strips a stencil down to the plain core.Graph method set,
@@ -102,7 +103,9 @@ func setWeight(s Stencil, v int, w int64) { weights(s)[v] = w }
 
 // TestPlaceLowestNoAllocs: the FixedGraph fast path does zero heap work
 // per placement — the contract behind the tile-parallel solver's
-// allocation-free inner loop.
+// allocation-free inner loop. The contract holds both bare and with a
+// metrics bundle attached: the obsv counters are plain atomics, so
+// observability must not cost the hot path a single allocation.
 func TestPlaceLowestNoAllocs(t *testing.T) {
 	g := MustGrid3D(6, 6, 6)
 	rng := rand.New(rand.NewSource(2))
@@ -113,14 +116,21 @@ func TestPlaceLowestNoAllocs(t *testing.T) {
 	for v := range c.Start {
 		c.Start[v] = rng.Int63n(40)
 	}
-	var s core.FitScratch
-	v := 0
-	allocs := testing.AllocsPerRun(500, func() {
-		s.PlaceLowest(g, c, v, -1)
-		v = (v + 1) % g.Len()
-	})
-	if allocs != 0 {
-		t.Errorf("PlaceLowest allocates %.1f per run, want 0", allocs)
+	scratches := map[string]*core.FitScratch{
+		"bare":    {},
+		"metrics": {Metrics: obsv.NewSolveMetrics(obsv.NewRegistry())},
+	}
+	for name, s := range scratches {
+		t.Run(name, func(t *testing.T) {
+			v := 0
+			allocs := testing.AllocsPerRun(500, func() {
+				s.PlaceLowest(g, c, v, -1)
+				v = (v + 1) % g.Len()
+			})
+			if allocs != 0 {
+				t.Errorf("PlaceLowest allocates %.1f per run, want 0", allocs)
+			}
+		})
 	}
 }
 

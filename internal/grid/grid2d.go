@@ -1,11 +1,3 @@
-// Package grid provides the stencil graphs studied by the paper: the 9-pt
-// 2D stencil (Grid2D) and the 27-pt 3D stencil (Grid3D), along with their
-// 5-pt/7-pt relaxations, Z-order (Morton) traversals, and the K4/K8 clique
-// blocks used by the block-based heuristics and lower bounds.
-//
-// Both grid types implement core.Graph with implicit adjacency: neighbor
-// lists are synthesized from coordinates, so a grid stores only its weight
-// array.
 package grid
 
 import (

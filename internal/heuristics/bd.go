@@ -3,7 +3,6 @@ package heuristics
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"stencilivc/internal/core"
 	"stencilivc/internal/grid"
@@ -184,17 +183,18 @@ func BipartiteDecompositionPost2D(g *grid.Grid2D) (core.Coloring, int64) {
 }
 
 // BipartiteDecompositionPost2DOpts is BDP in 2D with options; the
-// decompose and post phases are timed separately in the stats sink.
+// decompose and post phases are observed separately (stats phases and
+// trace spans).
 func BipartiteDecompositionPost2DOpts(g *grid.Grid2D, opts *core.SolveOptions) (core.Coloring, int64, error) {
-	t0 := time.Now()
+	stop := core.StartPhase(opts, "BDP/decompose")
 	c, rc, err := BipartiteDecomposition2DOpts(g, opts)
-	opts.Sink().AddPhase("BDP/decompose", time.Since(t0))
+	stop()
 	if err != nil {
 		return core.Coloring{}, 0, err
 	}
-	t1 := time.Now()
+	stop = core.StartPhase(opts, "BDP/post")
 	err = recolor(g, c, postOrder(g, c, g.CliqueBlocks()), opts)
-	opts.Sink().AddPhase("BDP/post", time.Since(t1))
+	stop()
 	if err != nil {
 		return core.Coloring{}, 0, err
 	}
@@ -209,15 +209,15 @@ func BipartiteDecompositionPost3D(g *grid.Grid3D) (core.Coloring, int64) {
 
 // BipartiteDecompositionPost3DOpts is BDP in 3D with options.
 func BipartiteDecompositionPost3DOpts(g *grid.Grid3D, opts *core.SolveOptions) (core.Coloring, int64, error) {
-	t0 := time.Now()
+	stop := core.StartPhase(opts, "BDP/decompose")
 	c, lb, err := BipartiteDecomposition3DOpts(g, opts)
-	opts.Sink().AddPhase("BDP/decompose", time.Since(t0))
+	stop()
 	if err != nil {
 		return core.Coloring{}, 0, err
 	}
-	t1 := time.Now()
+	stop = core.StartPhase(opts, "BDP/post")
 	err = recolor(g, c, postOrder(g, c, g.CliqueBlocks()), opts)
-	opts.Sink().AddPhase("BDP/post", time.Since(t1))
+	stop()
 	if err != nil {
 		return core.Coloring{}, 0, err
 	}

@@ -1,18 +1,3 @@
-// Package heuristics implements the coloring algorithms evaluated in the
-// paper (Section V): the greedy orderings GLL, GZO, and GLF; the
-// clique-block heuristics GKF and SGK; and the Bipartite Decomposition
-// approximation BD with its post-optimized variant BDP.
-//
-// Every function returns a complete, valid coloring; validity is enforced
-// by construction (each placement uses the lowest-fit engine against all
-// colored neighbors) and re-verified by property tests.
-//
-// Dispatch is registry-based: each algorithm self-registers a Descriptor
-// from init() in the file that implements it, and Run / Run2D / Run3D,
-// All(), and the Portfolio runner all consult that one table. Solvers
-// accept a *core.SolveOptions carrying a context (polled at line/block
-// granularity, so huge grids are cancellable), a parallelism knob for
-// portfolio runs, and a stats sink.
 package heuristics
 
 import (

@@ -2,6 +2,7 @@ package heuristics
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -151,9 +152,12 @@ func All() []Algorithm {
 // Run executes the named algorithm on a stencil instance of either
 // dimensionality. It is the single dispatch path: unknown names and
 // dimension mismatches error, per-algorithm errors (cancellation, failed
-// decompositions) propagate instead of being discarded, and when opts
-// carries a stats sink the algorithm's wall time is recorded under
-// "solve:<name>".
+// decompositions) propagate instead of being discarded, and every
+// configured observability sink records here — the algorithm's wall
+// time lands in the stats sink under "solve:<name>", a "solve:<name>"
+// span opens on the tracer (on its own lane, so concurrent portfolio
+// runs render as separate rows), and the metrics bundle receives the
+// solve count, wall time, allocations, and resulting maxcolor.
 func Run(alg Algorithm, s grid.Stencil, opts *core.SolveOptions) (core.Coloring, error) {
 	d, ok := Lookup(alg)
 	if !ok {
@@ -166,13 +170,43 @@ func Run(alg Algorithm, s grid.Stencil, opts *core.SolveOptions) (core.Coloring,
 	if err := opts.Err(); err != nil {
 		return core.Coloring{}, err
 	}
+	name := "solve:" + string(alg)
+	tr := opts.Tracer()
+	lane := 0
+	if tr != nil {
+		lane = tr.Lane()
+	}
+	sp := tr.StartLane(lane, name)
+	m := opts.Meters()
+	var mallocs0 uint64
+	if m != nil {
+		mallocs0 = readMallocs()
+	}
 	t0 := time.Now()
-	c, err := d.Fn(s, opts)
-	opts.Sink().AddPhase("solve:"+string(alg), time.Since(t0))
+	c, err := d.Fn(s, opts.WithPhase(sp))
+	dt := time.Since(t0)
+	sp.End()
+	opts.Sink().AddPhase(name, dt)
 	if err != nil {
 		return core.Coloring{}, fmt.Errorf("heuristics: %s: %w", alg, err)
 	}
+	if m != nil {
+		m.Solves.Add(1)
+		m.SolveSeconds.Observe(dt.Seconds())
+		m.Allocs.Add(int64(readMallocs() - mallocs0))
+		m.MaxColor.Set(c.MaxColor(s))
+	}
 	return c, nil
+}
+
+// readMallocs snapshots the process's cumulative heap allocation count;
+// Run charges the delta across a solve to the metrics bundle. Only
+// called when metrics are enabled — ReadMemStats is far too heavy for
+// an always-on path.
+func readMallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
 }
 
 // Run2D executes the named algorithm on a 9-pt stencil instance.

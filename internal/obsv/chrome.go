@@ -1,0 +1,45 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one complete ("ph":"X") event of the Chrome trace-event
+// format, the JSON that chrome://tracing and Perfetto load directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds since trace start
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the top-level Chrome trace JSON object.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome emits the trace in Chrome trace-event JSON ("complete"
+// events, one tid per lane), loadable by chrome://tracing and Perfetto.
+// A nil or empty trace writes a valid document with no events.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	spans := t.Spans()
+	doc := chromeDoc{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for _, sp := range spans {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   float64(sp.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(sp.Wall.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  sp.Lane,
+			Args: map[string]any{"cpu_us": float64(sp.CPU.Nanoseconds()) / 1e3},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

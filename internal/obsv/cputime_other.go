@@ -1,0 +1,8 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd)
+
+package obsv
+
+import "time"
+
+// processCPU is unavailable without rusage; span CPU figures read 0.
+func processCPU() time.Duration { return 0 }

@@ -1,0 +1,19 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package obsv
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPU returns the process's cumulative CPU time (user + system,
+// all threads) via getrusage. Span CPU figures are deltas of this value,
+// so a span's CPU can exceed its wall time when other goroutines run.
+func processCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano()) + time.Duration(ru.Stime.Nano())
+}

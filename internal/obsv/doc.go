@@ -1,0 +1,42 @@
+// Package obsv is the observability layer of the solver pipeline: a
+// span-style tracer for hierarchical per-phase timings, a registry of
+// counters/gauges/histograms for solver work metrics, and exposition of
+// both in Prometheus text format and expvar JSON. It depends only on the
+// standard library and is imported by internal/core, so every solver can
+// be instrumented without new dependencies.
+//
+// The paper argues by per-phase runtime breakdowns (Section VII's Figure
+// 10 splits STKDE time into coloring, scheduling, and kernel work); this
+// package is the machinery that produces such breakdowns for any solve.
+//
+// # Tracer model
+//
+// A Trace records completed Spans. Spans live on integer lanes (rendered
+// as thread rows by chrome://tracing): lane 0 is the main lane, and
+// concurrent work — a portfolio's algorithm runs, a tile worker — takes a
+// fresh lane from Trace.Lane. Within one lane, nesting is by time
+// containment, exactly as Chrome renders it; Span.Child additionally
+// records an explicit depth for textual reporting (Trace.Top, Tree).
+// Each span captures wall time and the process CPU time consumed while
+// it was open (rusage-based on Unix, zero elsewhere).
+//
+// # Metric taxonomy
+//
+// Counters are monotone totals (vertices colored, neighbor-interval
+// probes, cross-tile conflicts detected and repaired, repair rounds,
+// completed solves). Gauges are last-observed values (maxcolor of the
+// most recent solve). Histograms are bucketed distributions (lowest-fit
+// occupancy-list lengths, solve seconds). SolveMetrics bundles the
+// solver taxonomy into one struct that core.SolveOptions carries.
+//
+// # Zero cost when disabled
+//
+// Every method on *Trace, *Span, *Counter, *Gauge, *Histogram, and
+// *SolveMetrics accepts a nil receiver as a no-op, so instrumented code
+// never branches on whether a sink is attached, and the disabled path
+// costs one nil check and allocates nothing — the placement kernel's
+// 0 allocs/op contract (BenchmarkPlaceLowest) holds with instrumentation
+// compiled in. Hot-path increments on enabled counters are lock-free:
+// counters are sharded across padded cache lines so concurrent tile
+// workers never contend on one word (Counter.AddShard).
+package obsv

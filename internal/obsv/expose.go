@@ -1,0 +1,160 @@
+package obsv
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by metric name so output is
+// reproducible. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.names() {
+		help := r.helpFor[name]
+		var err error
+		switch m := r.byName[name].(type) {
+		case *Counter:
+			err = writeSimple(w, name, help, "counter", formatInt(m.Value()))
+		case *Gauge:
+			err = writeSimple(w, name, help, "gauge", formatInt(m.Value()))
+		case *Histogram:
+			err = writeHistogram(w, name, help, m)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSimple emits the HELP/TYPE header and single sample of a counter
+// or gauge.
+func writeSimple(w io.Writer, name, help, kind, value string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		name, escapeHelp(help), name, kind, name, value)
+	return err
+}
+
+// writeHistogram emits the cumulative bucket series plus _sum and
+// _count samples of one histogram.
+func writeHistogram(w io.Writer, name, help string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+		name, escapeHelp(help), name); err != nil {
+		return err
+	}
+	for _, b := range h.Buckets() {
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = formatFloat(b.UpperBound)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, b.CumulativeCount); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+		name, formatFloat(h.Sum()), name, h.Count())
+	return err
+}
+
+// escapeHelp escapes backslashes and newlines per the text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatInt renders an integer sample value.
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+// formatFloat renders a float sample value in the shortest exact form.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ExpvarFunc returns an expvar.Func rendering the registry as a JSON
+// object: counters and gauges as numbers, histograms as
+// {buckets: {le: cumulative}, sum, count}. Publish it with
+// expvar.Publish to surface the registry under /debug/vars.
+func (r *Registry) ExpvarFunc() expvar.Func {
+	return func() any {
+		if r == nil {
+			return map[string]any{}
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		out := map[string]any{}
+		for _, name := range r.names() {
+			switch m := r.byName[name].(type) {
+			case *Counter:
+				out[name] = m.Value()
+			case *Gauge:
+				out[name] = m.Value()
+			case *Histogram:
+				buckets := map[string]int64{}
+				for _, b := range m.Buckets() {
+					le := "+Inf"
+					if !math.IsInf(b.UpperBound, 1) {
+						le = formatFloat(b.UpperBound)
+					}
+					buckets[le] = b.CumulativeCount
+				}
+				out[name] = map[string]any{
+					"buckets": buckets, "sum": m.Sum(), "count": m.Count(),
+				}
+			}
+		}
+		return out
+	}
+}
+
+// Publish registers the registry under name in the process-wide expvar
+// table (served at /debug/vars). It is a no-op on a nil registry and —
+// unlike expvar.Publish — on duplicate names, so tools may call it
+// unconditionally.
+func (r *Registry) Publish(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, r.ExpvarFunc())
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format, followed by a small set of scrape-time Go runtime gauges
+// (goroutines, heap, GC) so a dashboard sees allocator pressure next to
+// the solver counters.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			return
+		}
+		writeRuntime(w)
+	})
+}
+
+// writeRuntime emits the scrape-time Go runtime gauges.
+func writeRuntime(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	for _, g := range []struct {
+		name, help, kind string
+		v                uint64
+	}{
+		{"go_goroutines", "Number of live goroutines.", "gauge", uint64(runtime.NumGoroutine())},
+		{"go_mem_alloc_bytes", "Bytes of allocated heap objects.", "gauge", ms.Alloc},
+		{"go_mem_mallocs_total", "Cumulative count of heap allocations.", "counter", ms.Mallocs},
+		{"go_mem_total_alloc_bytes", "Cumulative bytes allocated on the heap.", "counter", ms.TotalAlloc},
+		{"go_gc_runs_total", "Completed GC cycles.", "counter", uint64(ms.NumGC)},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+			g.name, g.help, g.name, g.kind, g.name, g.v)
+	}
+}

@@ -1,0 +1,69 @@
+package obsv
+
+// SolveMetrics bundles the solver metric taxonomy: the counters,
+// gauges, and histograms every solve path feeds. It is carried by
+// core.SolveOptions; a nil *SolveMetrics disables all of them (every
+// field method is nil-receiver-safe, so instrumented code records
+// unconditionally).
+type SolveMetrics struct {
+	// Vertices counts vertex placements (initial coloring and
+	// recoloring alike) — ivc_vertices_colored_total.
+	Vertices *Counter
+	// Probes counts neighbor intervals examined by the lowest-fit
+	// engine — ivc_probe_intervals_total.
+	Probes *Counter
+	// Conflicts counts cross-tile conflicts detected by the parallel
+	// solver's boundary sweeps — ivc_conflicts_detected_total.
+	Conflicts *Counter
+	// Repairs counts conflict losers recolored by repair rounds —
+	// ivc_conflicts_repaired_total.
+	Repairs *Counter
+	// RepairRounds counts completed detect/recolor rounds —
+	// ivc_repair_rounds_total.
+	RepairRounds *Counter
+	// Solves counts completed top-level solves — ivc_solves_total.
+	Solves *Counter
+	// Allocs counts heap allocations performed during solves (MemStats
+	// deltas around each registry-dispatched solve) — ivc_solve_allocs_total.
+	Allocs *Counter
+	// MaxColor holds the most recent solve's maxcolor — ivc_last_maxcolor.
+	MaxColor *Gauge
+	// OccLen is the distribution of lowest-fit occupancy-list lengths
+	// (colored neighbors per placement) — ivc_occupancy_list_length.
+	OccLen *Histogram
+	// SolveSeconds is the distribution of per-solve wall times —
+	// ivc_solve_seconds.
+	SolveSeconds *Histogram
+}
+
+// NewSolveMetrics registers the solver taxonomy in r and returns the
+// bundle. A nil registry yields a non-nil bundle of nil (disabled)
+// metrics, which callers may still pass around safely.
+func NewSolveMetrics(r *Registry) *SolveMetrics {
+	return &SolveMetrics{
+		Vertices: r.Counter("ivc_vertices_colored_total",
+			"Vertex placements performed (initial coloring and recoloring)."),
+		Probes: r.Counter("ivc_probe_intervals_total",
+			"Neighbor intervals examined by the lowest-fit engine."),
+		Conflicts: r.Counter("ivc_conflicts_detected_total",
+			"Cross-tile conflicts found by the parallel solver's boundary sweeps."),
+		Repairs: r.Counter("ivc_conflicts_repaired_total",
+			"Conflict losers recolored by parallel repair rounds."),
+		RepairRounds: r.Counter("ivc_repair_rounds_total",
+			"Detect/recolor rounds completed by the parallel solver."),
+		Solves: r.Counter("ivc_solves_total",
+			"Completed registry-dispatched solves."),
+		Allocs: r.Counter("ivc_solve_allocs_total",
+			"Heap allocations performed during registry-dispatched solves."),
+		MaxColor: r.Gauge("ivc_last_maxcolor",
+			"Maxcolor of the most recent completed solve."),
+		// Stencil degrees are at most 26, so the interesting occupancy
+		// lengths sit in [0, 32]; finer buckets low, one catch-all high.
+		OccLen: r.Histogram("ivc_occupancy_list_length",
+			"Colored-neighbor occupancy-list length per lowest-fit placement.",
+			[]float64{0, 1, 2, 4, 8, 12, 16, 20, 26, 32}),
+		SolveSeconds: r.Histogram("ivc_solve_seconds",
+			"Wall time per registry-dispatched solve, in seconds.",
+			ExponentialBuckets(0.0001, 4, 10)),
+	}
+}

@@ -1,0 +1,106 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+
+	"stencilivc/internal/core"
+	"stencilivc/internal/obsv"
+)
+
+// TestTraceSpans: a traced parallel solve records the two top-level
+// phases, one span per tile (on worker lanes, nested under speculate),
+// and a sweep span inside every repair round. Run with -race this also
+// proves concurrent tile workers may share one tracer.
+func TestTraceSpans(t *testing.T) {
+	g := rand2D(t, 48, 48, 9, 23)
+	tr := obsv.NewTrace()
+	c, err := Greedy(g, Config{TileSize: 6},
+		&core.SolveOptions{Parallelism: 4, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+
+	var speculate, repair *obsv.SpanRecord
+	tiles, sweeps := 0, 0
+	spans := tr.Spans()
+	for i := range spans {
+		sp := &spans[i]
+		switch {
+		case sp.Name == "pgreedy/speculate":
+			speculate = sp
+		case sp.Name == "pgreedy/repair":
+			repair = sp
+		case strings.HasPrefix(sp.Name, "tile:"):
+			tiles++
+			if sp.Depth == 0 {
+				t.Errorf("%s: depth 0, want nested under speculate", sp.Name)
+			}
+			if sp.Lane == 0 {
+				t.Errorf("%s: lane 0, want a worker lane", sp.Name)
+			}
+		case sp.Name == "sweep":
+			sweeps++
+		}
+	}
+	if speculate == nil || repair == nil {
+		t.Fatalf("missing top-level phase spans; got %v", tr)
+	}
+	wantTiles := ((48 + 5) / 6) * ((48 + 5) / 6)
+	if tiles != wantTiles {
+		t.Errorf("tile spans = %d, want %d", tiles, wantTiles)
+	}
+	if sweeps == 0 {
+		t.Error("no sweep spans inside the repair rounds")
+	}
+	// Tile spans must be contained in the speculate phase's window.
+	for _, sp := range spans {
+		if !strings.HasPrefix(sp.Name, "tile:") {
+			continue
+		}
+		if sp.Start < speculate.Start || sp.Start+sp.Wall > speculate.Start+speculate.Wall {
+			t.Errorf("%s [%v, %v] escapes speculate [%v, %v]", sp.Name,
+				sp.Start, sp.Start+sp.Wall, speculate.Start, speculate.Start+speculate.Wall)
+		}
+	}
+}
+
+// TestSolveMetrics: the metrics bundle attached to a parallel solve
+// counts every placement at least once (repairs re-place) and keeps the
+// conflict ledger consistent: rounds only happen when conflicts exist,
+// and every detected conflict is eventually repaired.
+func TestSolveMetrics(t *testing.T) {
+	g := rand2D(t, 40, 40, 9, 29)
+	m := obsv.NewSolveMetrics(obsv.NewRegistry())
+	c, err := Greedy(g, Config{TileSize: 5},
+		&core.SolveOptions{Parallelism: 4, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Vertices.Value(); got < int64(g.Len()) {
+		t.Errorf("vertices colored = %d, want >= %d", got, g.Len())
+	}
+	if m.Probes.Value() <= 0 {
+		t.Error("no probes counted")
+	}
+	if m.OccLen.Count() != m.Vertices.Value() {
+		t.Errorf("occupancy histogram count = %d, want %d (one observation per placement)",
+			m.OccLen.Count(), m.Vertices.Value())
+	}
+	conflicts, repairs, rounds := m.Conflicts.Value(), m.Repairs.Value(), m.RepairRounds.Value()
+	if repairs != conflicts {
+		t.Errorf("repaired %d of %d detected conflicts; a valid coloring repairs all", repairs, conflicts)
+	}
+	if conflicts > 0 && rounds == 0 {
+		t.Errorf("%d conflicts but 0 repair rounds", conflicts)
+	}
+	if rounds == 0 && conflicts == 0 && repairs != 0 {
+		t.Error("repairs counted without conflicts")
+	}
+}

@@ -1,41 +1,14 @@
-// Package parallel implements the tile-parallel speculative greedy
-// solver for 9-pt and 27-pt stencils: the speculate/repair strategy that
-// scales classic distance-1 graph coloring (Gebremedhin–Manne style),
-// adapted to interval vertex coloring.
-//
-// The grid is partitioned into cache-sized tiles (2D: T×T blocks, 3D:
-// T×T×T bricks). All tiles are colored concurrently on a worker pool
-// honoring SolveOptions.Parallelism; inside a tile the placement is the
-// ordinary sequential lowest-fit greedy, so intra-tile edges are valid by
-// construction. Cross-tile (halo) neighbors are read optimistically —
-// whatever start the neighbor currently has, including "uncolored" — so
-// two adjacent tiles racing on a boundary edge may produce overlapping
-// intervals. A conflict-detection sweep over the tile boundaries then
-// finds every overlapping cross-tile pair and recolors the pair's loser —
-// the vertex with the higher (tile-id, vertex-id) — and the
-// detect/recolor loop runs to a fixpoint.
-//
-// Termination: winners never move, a recolored loser placed against a
-// winner's (stable) interval can never conflict with it again, and
-// same-tile losers are recolored sequentially by one worker; so in every
-// round the smallest (tile-id, vertex-id) member of each conflict
-// component leaves the conflict set for good — the set strictly shrinks.
-// As a belt-and-braces guarantee the solver switches to a single
-// sequential repair pass (which reaches a fixpoint in one sweep) if the
-// conflict set ever stops shrinking or a round budget is exhausted.
-//
-// All reads and writes of the shared start array during the concurrent
-// phases go through sync/atomic, so the solver is clean under the race
-// detector; the final coloring is published by the worker joins.
 package parallel
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"stencilivc/internal/core"
 	"stencilivc/internal/grid"
+	"stencilivc/internal/obsv"
 )
 
 // Order selects the tile-local visit order of the speculative phase.
@@ -124,21 +97,24 @@ func Greedy(s grid.Stencil, cfg Config, opts *core.SolveOptions) (core.Coloring,
 		par: min(opts.Par(), len(tl.Tiles)),
 	}
 
-	if err := timed(opts, "pgreedy/speculate", r.speculate); err != nil {
+	if err := r.phase("pgreedy/speculate", r.speculate); err != nil {
 		return core.Coloring{}, err
 	}
-	if err := timed(opts, "pgreedy/repair", func() error {
-		return r.fixpoint(maxRounds)
+	if err := r.phase("pgreedy/repair", func(sp *obsv.Span) error {
+		return r.fixpoint(sp, maxRounds)
 	}); err != nil {
 		return core.Coloring{}, err
 	}
 	return r.c, nil
 }
 
-// timed runs fn and charges its wall time to the named stats phase.
-func timed(opts *core.SolveOptions, name string, fn func() error) error {
-	defer core.PhaseTimer(opts.Sink(), name)()
-	return fn()
+// phase runs fn under a named observability phase: a trace span (passed
+// to fn so it can parent worker spans) plus a stats phase record.
+func (r *run) phase(name string, fn func(sp *obsv.Span) error) error {
+	sp := r.opts.StartSpan(name)
+	defer core.PhaseTimer(r.opts.Sink(), name)()
+	defer sp.End()
+	return fn(sp)
 }
 
 // run holds the shared state of one solve.
@@ -160,17 +136,39 @@ type run struct {
 	// the same round (skipMarked).
 	mark  []int32
 	round int32
+
+	// workerSeq hands each worker scratch a distinct counter shard.
+	workerSeq atomic.Int64
 }
 
 // scratch is the per-worker state: fixed-size neighbor and occupancy
 // arrays (kept in one heap object per worker so the placement kernel
-// allocates nothing per vertex) plus reusable buffers and counters.
+// allocates nothing per vertex) plus reusable buffers, counters, and
+// the worker's observability identity (trace lane, counter shard).
 type scratch struct {
 	nb         [core.MaxFixedDegree]int
 	occ        [core.MaxFixedDegree]core.Interval
 	verts      []int
 	placements int64
 	probes     int64
+	// m is the solve metrics bundle (nil when disabled); per-placement
+	// histogram observations go straight in, counters flush in bulk.
+	m *obsv.SolveMetrics
+	// shard is the worker's counter shard, so concurrent flushes land on
+	// distinct cache lines.
+	shard int
+	// lane is the worker's trace lane (0 when tracing is disabled).
+	lane int
+}
+
+// newScratch builds a worker scratch carrying the run's metrics bundle,
+// a fresh counter shard, and — when tracing — a fresh trace lane.
+func (r *run) newScratch() *scratch {
+	return &scratch{
+		m:     r.opts.Meters(),
+		shard: int(r.workerSeq.Add(1)),
+		lane:  r.opts.Tracer().Lane(),
+	}
 }
 
 // Gather modes of the placement kernel: which neighbors a placement is
@@ -223,6 +221,9 @@ func (r *run) place(w *scratch, v, ownTile, mode int) int64 {
 	}
 	w.placements++
 	w.probes += int64(m)
+	if w.m != nil {
+		w.m.OccLen.ObserveInt(int64(m))
+	}
 	return core.LowestFit(w.occ[:m], g.Weight(v))
 }
 
@@ -233,7 +234,7 @@ func (r *run) place(w *scratch, v, ownTile, mode int) int64 {
 func (r *run) forEach(n int, fn func(w *scratch, i int) error) error {
 	par := min(r.par, n)
 	if par <= 1 {
-		w := &scratch{}
+		w := r.newScratch()
 		defer r.flush(w)
 		for i := 0; i < n; i++ {
 			if err := fn(w, i); err != nil {
@@ -253,7 +254,7 @@ func (r *run) forEach(n int, fn func(w *scratch, i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := &scratch{}
+			w := r.newScratch()
 			defer r.flush(w)
 			for !stop.Load() {
 				i := int(next.Add(1)) - 1
@@ -272,13 +273,19 @@ func (r *run) forEach(n int, fn func(w *scratch, i int) error) error {
 	return first
 }
 
-// flush moves a worker's local counters into the shared stats sink.
+// flush moves a worker's local counters into the shared stats sink and
+// metrics bundle (on the worker's own shard, so concurrent flushes do
+// not contend).
 func (r *run) flush(w *scratch) {
+	if w.m != nil {
+		w.m.Vertices.AddShard(w.shard, w.placements)
+		w.m.Probes.AddShard(w.shard, w.probes)
+	}
 	if sink := r.opts.Sink(); sink != nil {
 		sink.AddPlacements(w.placements)
 		sink.AddProbes(w.probes)
-		w.placements, w.probes = 0, 0
 	}
+	w.placements, w.probes = 0, 0
 }
 
 // tileOrder fills w.verts with tile t's cells in the configured
@@ -300,14 +307,19 @@ func (r *run) tileOrder(w *scratch, t grid.Tile) []int {
 
 // speculate is the optimistic phase: every tile is colored concurrently
 // with the sequential greedy, halo neighbors read at whatever state they
-// happen to be in.
-func (r *run) speculate() error {
+// happen to be in. When tracing, each tile's coloring is a span on its
+// worker's lane, parented under sp.
+func (r *run) speculate(sp *obsv.Span) error {
 	start := r.c.Start
 	return r.forEach(len(r.tl.Tiles), func(w *scratch, i int) error {
 		if err := r.opts.Err(); err != nil {
 			return err
 		}
 		tile := r.tl.Tiles[i]
+		var tsp *obsv.Span
+		if sp != nil {
+			tsp = sp.ChildLane(w.lane, fmt.Sprintf("tile:%d", tile.ID))
+		}
 		mode := readAll
 		if r.cfg.SpeculateBlind {
 			mode = blindCross
@@ -315,11 +327,13 @@ func (r *run) speculate() error {
 		for k, v := range r.tileOrder(w, tile) {
 			if k%core.CtxCheckInterval == core.CtxCheckInterval-1 {
 				if err := r.opts.Err(); err != nil {
+					tsp.End()
 					return err
 				}
 			}
 			atomic.StoreInt64(&start[v], r.place(w, v, tile.ID, mode))
 		}
+		tsp.End()
 		return nil
 	})
 }
@@ -384,9 +398,13 @@ func (r *run) detect(losersByTile [][]int) (total int, err error) {
 // sequentially within the tile (one worker per tile group) so no new
 // intra-tile conflict can appear; if the conflict set ever fails to
 // shrink strictly — or maxRounds is exhausted — one sequential pass over
-// the remaining losers finishes the job deterministically.
-func (r *run) fixpoint(maxRounds int) error {
+// the remaining losers finishes the job deterministically. When tracing,
+// every round records a span under sp with nested boundary-sweep and
+// recolor spans; the metrics bundle counts detected conflicts, repaired
+// losers, and completed rounds.
+func (r *run) fixpoint(sp *obsv.Span, maxRounds int) error {
 	tl, start := r.tl, r.c.Start
+	meters := r.opts.Meters()
 	r.boundary = make([][]int, len(tl.Tiles))
 	if err := r.forEach(len(tl.Tiles), func(_ *scratch, i int) error {
 		r.boundary[i] = tl.AppendBoundary(tl.Tiles[i], nil)
@@ -397,11 +415,22 @@ func (r *run) fixpoint(maxRounds int) error {
 	losersByTile := make([][]int, len(tl.Tiles))
 	prev := -1
 	for round := 0; ; round++ {
+		var rsp, ssp *obsv.Span
+		if sp != nil {
+			rsp = sp.Child(fmt.Sprintf("round:%d", round))
+			ssp = rsp.Child("sweep")
+		}
 		nconf, err := r.detect(losersByTile)
+		ssp.End()
 		if err != nil {
+			rsp.End()
 			return err
 		}
+		if meters != nil {
+			meters.Conflicts.Add(int64(nconf))
+		}
 		if nconf == 0 {
+			rsp.End()
 			return nil
 		}
 		sequential := round >= maxRounds || (prev >= 0 && nconf >= prev)
@@ -428,17 +457,16 @@ func (r *run) fixpoint(maxRounds int) error {
 				groups = append(groups, group{tile: tl.Tiles[i].ID, verts: verts})
 			}
 		}
+		csp := rsp.Child("recolor")
 		if sequential {
-			w := &scratch{}
+			w := r.newScratch()
 			for _, g := range groups {
 				for _, v := range g.verts {
 					atomic.StoreInt64(&start[v], r.place(w, v, g.tile, readAll))
 				}
 			}
 			r.flush(w)
-			continue // the next detect sweep verifies the fixpoint
-		}
-		if err := r.forEach(len(groups), func(w *scratch, i int) error {
+		} else if err := r.forEach(len(groups), func(w *scratch, i int) error {
 			if err := r.opts.Err(); err != nil {
 				return err
 			}
@@ -447,7 +475,16 @@ func (r *run) fixpoint(maxRounds int) error {
 			}
 			return nil
 		}); err != nil {
+			csp.End()
+			rsp.End()
 			return err
 		}
+		csp.End()
+		rsp.End()
+		if meters != nil {
+			meters.Repairs.Add(int64(nconf))
+			meters.RepairRounds.Add(1)
+		}
+		// The next detect sweep verifies the fixpoint.
 	}
 }

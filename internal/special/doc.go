@@ -1,0 +1,14 @@
+// Package special implements the polynomially solvable cases of interval
+// vertex coloring analyzed in Section III of the paper: cliques (III-A),
+// bipartite graphs — which include chains and the 5-pt/7-pt stencil
+// relaxations — and odd cycles (Theorem 1, Section III-B).
+//
+// The package invariant: each solver returns a provably optimal coloring
+// together with its maxcolor, never a mere heuristic answer. Cliques
+// stack intervals to exactly the total weight; bipartite graphs reach
+// exactly max(max_v w(v), max_{(u,v)} w(u)+w(v)) by anchoring one side at
+// 0 and the other at the top; odd cycles meet the minchain3 bound of
+// Theorem 1. These optima double as building blocks elsewhere — the chain
+// solver is the row engine of the BD/BDP decompositions, and the clique
+// optimum is the K4/K8 lower bound of package bounds.
+package special

@@ -1,8 +1,3 @@
-// Package special implements the polynomially solvable cases of interval
-// vertex coloring analyzed in Section III of the paper: cliques, bipartite
-// graphs (which include chains and the 5-pt/7-pt stencil relaxations), and
-// odd cycles (Theorem 1). Each solver returns a provably optimal coloring
-// together with its maxcolor.
 package special
 
 import (

@@ -1,0 +1,59 @@
+package stencilivc
+
+import (
+	"net/http"
+
+	"stencilivc/internal/obsv"
+)
+
+// Observability types (internal/obsv), re-exported for users of the
+// public API. Attach a Trace and/or SolveMetrics to SolveOptions to
+// observe a solve; both are nil-safe, so leaving them nil costs nothing.
+type (
+	// Trace records hierarchical per-phase spans of a solve (wall +
+	// process CPU time); export with WriteChrome for chrome://tracing.
+	Trace = obsv.Trace
+	// Span is one open phase of a Trace.
+	Span = obsv.Span
+	// SpanRecord is one completed span of a Trace.
+	SpanRecord = obsv.SpanRecord
+	// MetricsRegistry is a named collection of counters, gauges, and
+	// histograms with Prometheus and expvar exposition.
+	MetricsRegistry = obsv.Registry
+	// SolveMetrics bundles the solver metric taxonomy (vertices colored,
+	// probes, conflicts, repair rounds, occupancy lengths, maxcolor).
+	SolveMetrics = obsv.SolveMetrics
+)
+
+// NewTrace returns an empty trace whose clock starts now; put it in
+// SolveOptions.Trace to record the solve's phase spans.
+func NewTrace() *Trace { return obsv.NewTrace() }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obsv.NewRegistry() }
+
+// NewSolveMetrics registers the solver metric taxonomy in r and returns
+// the bundle; put it in SolveOptions.Metrics to count solver work.
+func NewSolveMetrics(r *MetricsRegistry) *SolveMetrics { return obsv.NewSolveMetrics(r) }
+
+// MetricsHandler returns an http.Handler serving r in Prometheus text
+// format (plus scrape-time Go runtime gauges), ready to mount at
+// /metrics alongside net/http/pprof and expvar.
+func MetricsHandler(r *MetricsRegistry) http.Handler { return obsv.Handler(r) }
+
+// SolveWithTrace runs Solve with a fresh trace attached and returns the
+// trace alongside the coloring: the one-liner for "where did this solve
+// spend its time?". If opts already carries a trace it is kept (and
+// returned), so the helper composes with a caller-managed tracer.
+func SolveWithTrace(alg Algorithm, s Stencil, opts *SolveOptions) (Coloring, *Trace, error) {
+	if opts == nil {
+		opts = &SolveOptions{}
+	}
+	if opts.Trace == nil {
+		o := *opts
+		o.Trace = NewTrace()
+		opts = &o
+	}
+	c, err := Solve(alg, s, opts)
+	return c, opts.Trace, err
+}
