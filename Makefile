@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check doclint linkcheck bench microbench experiments experiments-full stkde cover clean
+.PHONY: all build vet test race check doclint linkcheck fuzz-short bench microbench experiments experiments-full stkde cover clean
 
 all: build check
 
@@ -26,11 +26,25 @@ doclint:
 linkcheck:
 	$(GO) run ./cmd/linkcheck .
 
+# fuzz-short runs every Fuzz* target in the tree for FUZZTIME each
+# (Go allows one -fuzz pattern per invocation, hence the loop). The
+# targets discovered today: FuzzLowestFit (core), FuzzRead (grid),
+# FuzzGreedyRepair (parallel), FuzzInjectionSchedule (chaos) — but the
+# loop finds new ones automatically.
+FUZZTIME ?= 10s
+fuzz-short:
+	@set -e; for pkg in $$($(GO) list ./...); do \
+		for t in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz' || true); do \
+			echo "fuzz $$pkg/$$t ($(FUZZTIME))"; \
+			$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) $$pkg; \
+		done; \
+	done
+
 # check is the CI gate: static analysis, the full suite under the race
 # detector (so the portfolio's concurrency paths are race-checked on
-# every build), and the documentation lints. It is part of the default
-# `make` flow via `all`.
-check: vet race doclint linkcheck
+# every build), a short fuzz pass over every fuzz target, and the
+# documentation lints. It is part of the default `make` flow via `all`.
+check: vet race fuzz-short doclint linkcheck
 
 # bench runs the committed performance suite (placement kernel, figure
 # runtimes, sequential-vs-parallel scaling) and writes machine-readable

@@ -21,6 +21,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,8 +29,10 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"stencilivc"
@@ -59,7 +62,15 @@ func run() (err error) {
 	tracePath := flag.String("trace", "", "write phase spans to this file in Chrome trace format")
 	httpAddr := flag.String("http", "", "serve /metrics (Prometheus), /debug/vars (expvar), and /debug/pprof on this address")
 	linger := flag.Duration("linger", 0, "with -http, keep serving this long after the solve finishes")
+	partial := flag.Bool("partial", false, "with -alg best and -timeout (or ^C), report the best completed algorithm instead of aborting")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the solve through the context (the solvers
+	// poll it) instead of killing the process mid-write; a second signal
+	// falls back to Go's default handling and terminates immediately.
+	ctx, stopSignals := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -100,14 +111,18 @@ func run() (err error) {
 		return err
 	}
 
-	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opts := &stencilivc.SolveOptions{Ctx: ctx, Parallelism: *par, Stats: &stencilivc.Stats{}}
-	obsDone, err := setupObs(*tracePath, *httpAddr, *linger, opts)
+	opts := &stencilivc.SolveOptions{
+		Ctx:             ctx,
+		Parallelism:     *par,
+		Stats:           &stencilivc.Stats{},
+		PartialOnCancel: *partial,
+	}
+	obsDone, err := setupObs(ctx, *tracePath, *httpAddr, *linger, opts)
 	if err != nil {
 		return err
 	}
@@ -140,7 +155,13 @@ func run() (err error) {
 	case "best":
 		t0 := time.Now()
 		c, winner, err := stencilivc.Best(s, opts)
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, stencilivc.ErrPartial):
+			// -partial turned the cancellation into a usable result: the
+			// winning coloring among the algorithms that did finish.
+			fmt.Printf("note: %v\n", err)
+		default:
 			return err
 		}
 		fmt.Printf("best: %-4s maxcolor=%d (%.3fms, all algorithms, par=%d)\n",
@@ -172,13 +193,19 @@ func run() (err error) {
 	return finish(s, last, lb, *print, *exactBudget, *workers, *gantt, g2, g3)
 }
 
+// shutdownGrace bounds how long the -http server drains in-flight
+// /metrics scrapes after the linger window closes or a signal arrives.
+const shutdownGrace = 5 * time.Second
+
 // setupObs attaches the requested observability sinks to opts: a trace
 // when -trace was given, and a metrics registry served over HTTP (with
 // expvar and pprof riding on the default mux) when -http was given. The
-// returned finalizer writes the Chrome trace file and keeps the HTTP
-// endpoints up for the -linger window; run defers it so every exit path
-// flushes the trace.
-func setupObs(tracePath, httpAddr string, linger time.Duration,
+// returned finalizer writes the Chrome trace file, keeps the HTTP
+// endpoints up for the -linger window (cut short by SIGINT/SIGTERM via
+// ctx), and then shuts the server down gracefully so an in-flight
+// /metrics scrape finishes instead of seeing a reset connection; run
+// defers it so every exit path flushes the trace.
+func setupObs(ctx context.Context, tracePath, httpAddr string, linger time.Duration,
 	opts *stencilivc.SolveOptions) (func() error, error) {
 
 	var tr *stencilivc.Trace
@@ -186,6 +213,7 @@ func setupObs(tracePath, httpAddr string, linger time.Duration,
 		tr = stencilivc.NewTrace()
 		opts.Trace = tr
 	}
+	var srv *http.Server
 	if httpAddr != "" {
 		reg := stencilivc.NewMetricsRegistry()
 		opts.Metrics = stencilivc.NewSolveMetrics(reg)
@@ -196,7 +224,17 @@ func setupObs(tracePath, httpAddr string, linger time.Duration,
 			return nil, err
 		}
 		fmt.Printf("serving /metrics, /debug/vars, /debug/pprof on http://%s\n", ln.Addr())
-		srv := &http.Server{Handler: http.DefaultServeMux}
+		// Slowloris-hardened: a scraper that stalls mid-headers or
+		// mid-read cannot pin a connection open forever. WriteTimeout is
+		// generous because /debug/pprof/profile streams for up to 30s by
+		// default.
+		srv = &http.Server{
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			WriteTimeout:      60 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go srv.Serve(ln)
 	}
 	return func() error {
@@ -214,9 +252,20 @@ func setupObs(tracePath, httpAddr string, linger time.Duration,
 			}
 			fmt.Printf("trace: %d spans -> %s\n", tr.Len(), tracePath)
 		}
-		if httpAddr != "" && linger > 0 {
-			fmt.Printf("lingering %s for scrapes\n", linger)
-			time.Sleep(linger)
+		if srv == nil {
+			return nil
+		}
+		if linger > 0 && ctx.Err() == nil {
+			fmt.Printf("lingering %s for scrapes (^C to stop early)\n", linger)
+			select {
+			case <-time.After(linger):
+			case <-ctx.Done():
+			}
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("http shutdown: %w", err)
 		}
 		return nil
 	}, nil

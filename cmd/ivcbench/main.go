@@ -19,12 +19,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"testing"
 	"time"
 
@@ -55,8 +59,13 @@ type Report struct {
 	NumCPU        int      `json:"num_cpu"`
 	GOMAXPROCS    int      `json:"gomaxprocs"`
 	Quick         bool     `json:"quick"`
+	Interrupted   bool     `json:"interrupted,omitempty"`
 	Results       []Result `json:"results"`
 }
+
+// errInterrupted aborts the remaining suite stages after a SIGINT or
+// SIGTERM; the report written so far is still valid, just partial.
+var errInterrupted = errors.New("interrupted")
 
 func main() {
 	if err := run(); err != nil {
@@ -71,6 +80,13 @@ func run() error {
 	seed := flag.Int64("seed", 1, "weight RNG seed for the scaling grids")
 	metricsOut := flag.String("metrics", "", "also write a Prometheus snapshot of the solver metrics to this file")
 	flag.Parse()
+
+	// ^C finishes the in-flight benchmark, then writes a partial report
+	// (marked "interrupted") instead of discarding an hour of results. A
+	// second ^C kills the process the default way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	var reg *stencilivc.MetricsRegistry
 	var sm *stencilivc.SolveMetrics
@@ -94,11 +110,20 @@ func run() error {
 		size2, size3 = 256, 32
 	}
 
-	benchPlaceLowest(rep, sm)
-	if err := benchFigRuntimes(rep, sm); err != nil {
-		return err
-	}
-	if err := benchParallel(rep, size2, size3, *seed, sm); err != nil {
+	err := func() error {
+		benchPlaceLowest(rep, sm)
+		if err := checkpoint(ctx); err != nil {
+			return err
+		}
+		if err := benchFigRuntimes(ctx, rep, sm); err != nil {
+			return err
+		}
+		return benchParallel(ctx, rep, size2, size3, *seed, sm)
+	}()
+	if errors.Is(err, errInterrupted) {
+		rep.Interrupted = true
+		note("interrupted — writing partial report (%d results)", len(rep.Results))
+	} else if err != nil {
 		return err
 	}
 
@@ -137,6 +162,15 @@ func writeMetrics(path string, reg *stencilivc.MetricsRegistry) error {
 		return err
 	}
 	note("metrics snapshot -> %s", path)
+	return nil
+}
+
+// checkpoint reports errInterrupted once a shutdown signal has arrived,
+// so the suite stops between benchmarks — never mid-measurement.
+func checkpoint(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return errInterrupted
+	}
 	return nil
 }
 
@@ -193,7 +227,7 @@ func benchPlaceLowest(rep *Report, sm *stencilivc.SolveMetrics) {
 
 // benchFigRuntimes reruns the per-algorithm runtime comparisons of
 // Figures 5a (2D) and 7a (3D) on the largest Dengue suite instances.
-func benchFigRuntimes(rep *Report, sm *stencilivc.SolveMetrics) error {
+func benchFigRuntimes(ctx context.Context, rep *Report, sm *stencilivc.SolveMetrics) error {
 	s2, err := datasets.Suite2D(datasets.SuiteOptions{Seed: 1, Stride: 2, MaxDim: 32})
 	if err != nil {
 		return err
@@ -233,6 +267,9 @@ func benchFigRuntimes(rep *Report, sm *stencilivc.SolveMetrics) error {
 	}
 
 	for _, alg := range stencilivc.Algorithms() {
+		if err := checkpoint(ctx); err != nil {
+			return err
+		}
 		alg := alg
 		var mc int64
 		br := testing.Benchmark(func(b *testing.B) {
@@ -247,6 +284,9 @@ func benchFigRuntimes(rep *Report, sm *stencilivc.SolveMetrics) error {
 		record(rep, fmt.Sprintf("Fig5a2D/%s", alg), br).MaxColor = mc
 	}
 	for _, alg := range stencilivc.Algorithms() {
+		if err := checkpoint(ctx); err != nil {
+			return err
+		}
 		alg := alg
 		var mc int64
 		br := testing.Benchmark(func(b *testing.B) {
@@ -267,7 +307,7 @@ func benchFigRuntimes(rep *Report, sm *stencilivc.SolveMetrics) error {
 // against sequential GLL on a size2^2 2D grid and a size3^3 3D grid, at
 // worker counts 1, 2, 4, ..., NumCPU. Speedup is sequential ns/op over
 // parallel ns/op; on a single-core runner it stays near 1.
-func benchParallel(rep *Report, size2, size3 int, seed int64, sm *stencilivc.SolveMetrics) error {
+func benchParallel(ctx context.Context, rep *Report, size2, size3 int, seed int64, sm *stencilivc.SolveMetrics) error {
 	parSweep := []int{1}
 	for p := 2; p <= runtime.NumCPU(); p *= 2 {
 		parSweep = append(parSweep, p)
@@ -294,6 +334,9 @@ func benchParallel(rep *Report, size2, size3 int, seed int64, sm *stencilivc.Sol
 	}
 
 	bench := func(label string, s stencilivc.Stencil) error {
+		if err := checkpoint(ctx); err != nil {
+			return err
+		}
 		br, mc, err := solve(stencilivc.GLL, s, 1)
 		if err != nil {
 			return err
@@ -302,6 +345,9 @@ func benchParallel(rep *Report, size2, size3 int, seed int64, sm *stencilivc.Sol
 		r.MaxColor, r.Par = mc, 1
 		seqNs := r.NsPerOp
 		for _, par := range parSweep {
+			if err := checkpoint(ctx); err != nil {
+				return err
+			}
 			br, mc, err := solve(stencilivc.PGLL, s, par)
 			if err != nil {
 				return err

@@ -1,0 +1,203 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stencilivc/internal/core"
+)
+
+// Injector is a deterministic, seeded core.Injector. Rules attach to
+// named fault sites; each visit of a site increments a per-site counter
+// and the rule decides — as a pure function of (seed, site, visit
+// number) — whether the fault fires. Identical construction therefore
+// replays the identical schedule on a sequential solve; on a concurrent
+// solve each visit still gets exactly one verdict (the counters are
+// atomic), though the scheduler decides which goroutine draws which
+// visit number.
+//
+// Configure rules before handing the Injector to a solver: the rule
+// table is read-only during injection, so Inject needs no lock.
+type Injector struct {
+	seed  uint64
+	rules map[core.FaultSite]*rule
+
+	// sealed flips when Inject first runs; late rule edits panic, since
+	// they would race with lock-free rule reads.
+	sealed atomic.Bool
+
+	mu sync.Mutex // guards rules during construction
+}
+
+// rule is the per-site schedule. Counter fields are atomic; the
+// schedule fields are frozen once the injector seals.
+type rule struct {
+	nth     int64         // fire exactly on this visit (1-based); 0 = off
+	every   int64         // fire on every every-th visit; 0 = off
+	budget  int64         // cap on fires for the every/prob triggers; 0 = unlimited
+	prob    float64       // per-visit probability via the seeded hash; 0 = off
+	doPanic bool          // on fire: panic(core.InjectedPanic{Site: site})
+	stall   time.Duration // on fire: sleep this long before returning
+
+	visits atomic.Int64
+	fires  atomic.Int64
+}
+
+// New returns an empty Injector: every site reports "no fault" until
+// rules are attached. The seed only matters for probabilistic rules.
+func New(seed uint64) *Injector {
+	return &Injector{seed: seed, rules: map[core.FaultSite]*rule{}}
+}
+
+func (in *Injector) rule(site core.FaultSite) *rule {
+	if in.sealed.Load() {
+		panic("chaos: rule added after injection started")
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.rules[site]
+	if r == nil {
+		r = &rule{}
+		in.rules[site] = r
+	}
+	return r
+}
+
+// OnNth fires site's fault exactly once, on its nth visit (1-based).
+func (in *Injector) OnNth(site core.FaultSite, nth int64) *Injector {
+	in.rule(site).nth = nth
+	return in
+}
+
+// EveryNth fires site's fault on every n-th visit, at most budget times
+// (budget <= 0 means unlimited).
+func (in *Injector) EveryNth(site core.FaultSite, n, budget int64) *Injector {
+	r := in.rule(site)
+	r.every, r.budget = n, budget
+	return in
+}
+
+// WithProb fires site's fault on each visit with probability p, decided
+// by a hash of (seed, site, visit number) — deterministic replay, no
+// shared PRNG state to contend on.
+func (in *Injector) WithProb(site core.FaultSite, p float64) *Injector {
+	in.rule(site).prob = p
+	return in
+}
+
+// Panicking makes site's fault panic with core.InjectedPanic instead of
+// merely returning true, exercising the pipeline's recover paths.
+func (in *Injector) Panicking(site core.FaultSite) *Injector {
+	in.rule(site).doPanic = true
+	return in
+}
+
+// Stalling makes site's fault sleep for d before returning, simulating
+// a slow worker without breaking correctness.
+func (in *Injector) Stalling(site core.FaultSite, d time.Duration) *Injector {
+	in.rule(site).stall = d
+	return in
+}
+
+// Inject implements core.Injector. It is safe for concurrent use.
+func (in *Injector) Inject(site core.FaultSite) bool {
+	in.sealed.Store(true)
+	r := in.rules[site] // read-only map after sealing
+	if r == nil {
+		return false
+	}
+	v := r.visits.Add(1)
+	fire := false
+	switch {
+	case r.nth > 0 && v == r.nth:
+		fire = true
+	case r.every > 0 && v%r.every == 0:
+		fire = true
+	case r.prob > 0 && hashToUnit(in.seed, site, v) < r.prob:
+		fire = true
+	}
+	if !fire {
+		return false
+	}
+	if r.budget > 0 {
+		if n := r.fires.Add(1); n > r.budget {
+			r.fires.Add(-1)
+			return false
+		}
+	} else {
+		r.fires.Add(1)
+	}
+	if r.stall > 0 {
+		time.Sleep(r.stall)
+	}
+	if r.doPanic {
+		panic(core.InjectedPanic{Site: site})
+	}
+	return true
+}
+
+// Visits returns how many times site has been consulted.
+func (in *Injector) Visits(site core.FaultSite) int64 {
+	if r := in.rules[site]; r != nil {
+		return r.visits.Load()
+	}
+	return 0
+}
+
+// Fires returns how many times site's fault actually fired.
+func (in *Injector) Fires(site core.FaultSite) int64 {
+	if r := in.rules[site]; r != nil {
+		return r.fires.Load()
+	}
+	return 0
+}
+
+// TotalFires sums fires across every configured site.
+func (in *Injector) TotalFires() int64 {
+	var n int64
+	for _, r := range in.rules {
+		n += r.fires.Load()
+	}
+	return n
+}
+
+// String renders the per-site visit/fire counters (sites sorted) for
+// test failure messages.
+func (in *Injector) String() string {
+	sites := make([]string, 0, len(in.rules))
+	for s := range in.rules {
+		sites = append(sites, string(s))
+	}
+	sort.Strings(sites)
+	var b strings.Builder
+	b.WriteString("chaos.Injector{")
+	for i, s := range sites {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		r := in.rules[core.FaultSite(s)]
+		fmt.Fprintf(&b, "%s: %d/%d", s, r.fires.Load(), r.visits.Load())
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// hashToUnit maps (seed, site, visit) to [0, 1) with a splitmix64-style
+// finalizer — stateless, so concurrent visits never contend and replay
+// is exact.
+func hashToUnit(seed uint64, site core.FaultSite, visit int64) float64 {
+	x := seed ^ uint64(visit)*0x9e3779b97f4a7c15
+	for i := 0; i < len(site); i++ {
+		x = (x ^ uint64(site[i])) * 0xbf58476d1ce4e5b9
+	}
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}

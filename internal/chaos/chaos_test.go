@@ -1,0 +1,186 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"stencilivc/internal/core"
+)
+
+const (
+	siteA core.FaultSite = "test/site-a"
+	siteB core.FaultSite = "test/site-b"
+)
+
+// TestOnNth: the fault fires exactly once, on the configured visit.
+func TestOnNth(t *testing.T) {
+	in := New(1).OnNth(siteA, 3)
+	var fired []int
+	for v := 1; v <= 6; v++ {
+		if in.Inject(siteA) {
+			fired = append(fired, v)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Errorf("fired on visits %v, want [3]", fired)
+	}
+	if in.Fires(siteA) != 1 || in.Visits(siteA) != 6 {
+		t.Errorf("counters = %s, want 1 fire / 6 visits", in)
+	}
+}
+
+// TestEveryNthBudget: periodic firing stops once the budget is spent.
+func TestEveryNthBudget(t *testing.T) {
+	in := New(1).EveryNth(siteA, 2, 3)
+	var fired []int
+	for v := 1; v <= 12; v++ {
+		if in.Inject(siteA) {
+			fired = append(fired, v)
+		}
+	}
+	want := []int{2, 4, 6}
+	if len(fired) != len(want) {
+		t.Fatalf("fired on visits %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on visits %v, want %v", fired, want)
+		}
+	}
+	if in.Fires(siteA) != 3 {
+		t.Errorf("Fires = %d, want 3 (budget)", in.Fires(siteA))
+	}
+}
+
+// TestProbDeterministic: the seeded probabilistic schedule replays
+// exactly, differs across seeds, and fires roughly in proportion to p.
+func TestProbDeterministic(t *testing.T) {
+	run := func(seed uint64) []bool {
+		in := New(seed).WithProb(siteA, 0.25)
+		out := make([]bool, 400)
+		for i := range out {
+			out[i] = in.Inject(siteA)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at visit %d", i+1)
+		}
+	}
+	c := run(8)
+	same := true
+	fires := 0
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+	if fires < 50 || fires > 150 {
+		t.Errorf("p=0.25 over 400 visits fired %d times, want ~100", fires)
+	}
+}
+
+// TestSiteIsolation: rules on one site never fire another.
+func TestSiteIsolation(t *testing.T) {
+	in := New(1).EveryNth(siteA, 1, 0)
+	for i := 0; i < 5; i++ {
+		if in.Inject(siteB) {
+			t.Fatal("unconfigured site fired")
+		}
+	}
+	if !in.Inject(siteA) {
+		t.Fatal("configured site did not fire")
+	}
+	if in.TotalFires() != 1 {
+		t.Errorf("TotalFires = %d, want 1", in.TotalFires())
+	}
+}
+
+// TestPanicking: a panicking rule throws core.InjectedPanic carrying
+// the site, the payload the pipeline's recover paths translate.
+func TestPanicking(t *testing.T) {
+	in := New(1).OnNth(siteA, 1).Panicking(siteA)
+	defer func() {
+		rec := recover()
+		ip, ok := rec.(core.InjectedPanic)
+		if !ok || ip.Site != siteA {
+			t.Errorf("recovered %v, want core.InjectedPanic at %s", rec, siteA)
+		}
+		if in.Fires(siteA) != 1 {
+			t.Errorf("Fires = %d, want 1", in.Fires(siteA))
+		}
+	}()
+	in.Inject(siteA)
+	t.Fatal("Inject returned instead of panicking")
+}
+
+// TestStalling: a stalling rule delays the caller by roughly the
+// configured duration.
+func TestStalling(t *testing.T) {
+	const d = 20 * time.Millisecond
+	in := New(1).OnNth(siteA, 1).Stalling(siteA, d)
+	t0 := time.Now()
+	if !in.Inject(siteA) {
+		t.Fatal("stall rule did not fire")
+	}
+	if got := time.Since(t0); got < d {
+		t.Errorf("stall lasted %v, want >= %v", got, d)
+	}
+}
+
+// TestSealing: configuring rules after injection started panics — that
+// write would race with the lock-free rule reads.
+func TestSealing(t *testing.T) {
+	in := New(1).OnNth(siteA, 1)
+	in.Inject(siteA)
+	defer func() {
+		if recover() == nil {
+			t.Error("late rule edit did not panic")
+		}
+	}()
+	in.OnNth(siteB, 1)
+}
+
+// TestConcurrentInject: concurrent visits each get one verdict and the
+// counters stay exact (run under -race via make check).
+func TestConcurrentInject(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 1000
+	)
+	in := New(1).EveryNth(siteA, 10, 0)
+	var wg sync.WaitGroup
+	var fires sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < perW; i++ {
+				if in.Inject(siteA) {
+					n++
+				}
+			}
+			fires.Store(w, n)
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	fires.Range(func(_, v any) bool { total += v.(int); return true })
+	want := workers * perW / 10
+	if total != want {
+		t.Errorf("observed %d fires across workers, want %d", total, want)
+	}
+	if in.Fires(siteA) != int64(want) || in.Visits(siteA) != workers*perW {
+		t.Errorf("counters %s, want %d fires / %d visits", in, want, workers*perW)
+	}
+}

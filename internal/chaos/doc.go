@@ -1,0 +1,18 @@
+// Package chaos is the deterministic fault-injection harness for the
+// solve pipeline. It implements core.Injector with a seeded, named-site
+// rule table: tests (and the fuzz target) build an Injector that fires
+// specific faults — induced panics, forced halo misreads, dropped
+// repair updates, worker stalls — at exact or pseudo-random visits of
+// the sites the solvers consult via core.SolveOptions.Fault.
+//
+// Everything is reproducible from the construction parameters: the same
+// rules and seed produce the same fire schedule on a sequential solve,
+// and per-site atomic visit counters keep concurrent solves
+// well-defined (each site visit gets exactly one verdict, though the
+// assignment of visits to goroutines follows the scheduler).
+//
+// The package deliberately lives behind the nil-cost core.Injector hook:
+// production binaries never import it, and a nil injector costs one
+// pointer comparison per site. See DESIGN.md §11 for the failure model
+// the harness exercises.
+package chaos

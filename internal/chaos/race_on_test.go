@@ -1,0 +1,7 @@
+//go:build race
+
+package chaos
+
+// raceEnabled reports whether the race detector instruments this build;
+// wall-clock latency bounds are meaningless under its ~10–20× slowdown.
+const raceEnabled = true

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFaultNilCost: nil options and nil injectors never fire and never
+// allocate.
+func TestFaultNilCost(t *testing.T) {
+	var o *SolveOptions
+	if o.Fault("any/site") {
+		t.Error("nil options fired a fault")
+	}
+	if o.Faults() != nil {
+		t.Error("nil options returned a non-nil injector")
+	}
+	o = &SolveOptions{}
+	if o.Fault("any/site") || o.Faults() != nil {
+		t.Error("empty options fired a fault or returned an injector")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if o.Fault("any/site") {
+			t.Fatal("fired")
+		}
+	}); n != 0 {
+		t.Errorf("Fault with nil injector allocates %v per run", n)
+	}
+}
+
+// TestInjectorFunc: the adapter routes sites through the function and
+// SolveOptions.Fault consults it.
+func TestInjectorFunc(t *testing.T) {
+	var seen []FaultSite
+	o := &SolveOptions{Injector: InjectorFunc(func(s FaultSite) bool {
+		seen = append(seen, s)
+		return s == "fires"
+	})}
+	if o.Fault("quiet") {
+		t.Error("quiet site fired")
+	}
+	if !o.Fault("fires") {
+		t.Error("firing site did not fire")
+	}
+	if len(seen) != 2 || seen[0] != "quiet" || seen[1] != "fires" {
+		t.Errorf("injector saw %v", seen)
+	}
+}
+
+// TestPanicToError covers the conversion of every recovered panic
+// shape: injected panics keep their site, errors are wrapped, arbitrary
+// values are stringified, and nested SolveErrors pass through with the
+// algorithm filled in.
+func TestPanicToError(t *testing.T) {
+	se := PanicToError("GLL", InjectedPanic{Site: "pgreedy/worker-panic"})
+	if se.Algorithm != "GLL" || se.Site != "pgreedy/worker-panic" || !se.Panicked {
+		t.Errorf("injected panic converted to %+v", se)
+	}
+	if !strings.Contains(se.Error(), "GLL") || !strings.Contains(se.Error(), "pgreedy/worker-panic") {
+		t.Errorf("message %q lacks algorithm or site", se.Error())
+	}
+
+	cause := errors.New("boom")
+	se = PanicToError("BDP", cause)
+	if !errors.Is(se, cause) {
+		t.Error("error cause not unwrappable")
+	}
+	if se.Site != "" || !se.Panicked {
+		t.Errorf("error panic converted to %+v", se)
+	}
+
+	se = PanicToError("", 42)
+	if se.Cause == nil || !strings.Contains(se.Error(), "42") {
+		t.Errorf("value panic converted to %+v", se)
+	}
+
+	inner := &SolveError{Site: "x/y", Panicked: true, Cause: errors.New("inner")}
+	se = PanicToError("PGLL", inner)
+	if se != inner || se.Algorithm != "PGLL" {
+		t.Errorf("nested SolveError not passed through: %+v", se)
+	}
+	var asSE *SolveError
+	if !errors.As(error(se), &asSE) {
+		t.Error("SolveError not recoverable via errors.As")
+	}
+}
+
+// TestSolveErrorMessages pins the message shapes for each combination
+// of known algorithm/site.
+func TestSolveErrorMessages(t *testing.T) {
+	cause := errors.New("c")
+	for _, tc := range []struct {
+		e    *SolveError
+		want string
+	}{
+		{&SolveError{Algorithm: "A", Site: "s", Panicked: true, Cause: cause}, "solve A panicked at s: c"},
+		{&SolveError{Algorithm: "A", Cause: cause}, "solve A failed: c"},
+		{&SolveError{Site: "s", Cause: cause}, "solve failed at s: c"},
+		{&SolveError{Cause: cause}, "solve failed: c"},
+	} {
+		if got := tc.e.Error(); got != tc.want {
+			t.Errorf("Error() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestCSROverflowGuards: construction rejects index-type and
+// total-weight overflow instead of corrupting offsets, right up to the
+// math.MaxInt64 edge.
+func TestCSROverflowGuards(t *testing.T) {
+	if _, err := NewCSRGraph([]int64{math.MaxInt64, 1}, nil); err == nil {
+		t.Error("total-weight overflow not rejected")
+	}
+	if _, err := NewCSRGraph([]int64{math.MaxInt64 - 1, 1}, []Edge{{0, 1}}); err != nil {
+		t.Errorf("total weight exactly MaxInt64 rejected: %v", err)
+	}
+	g := MustCSRGraph([]int64{math.MaxInt64 - 5, 1}, []Edge{{0, 1}})
+	g.SetWeight(1, 5) // total == MaxInt64: allowed
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetWeight past MaxInt64 total did not panic")
+			}
+		}()
+		g.SetWeight(1, 6)
+	}()
+	// The graph is untouched by the rejected update.
+	if g.Weight(1) != 5 {
+		t.Errorf("rejected SetWeight mutated the graph: w=%d", g.Weight(1))
+	}
+}
+
+// TestErrPartialSentinel: ErrPartial composes with wrapping.
+func TestErrPartialSentinel(t *testing.T) {
+	wrapped := errors.Join(errors.New("context deadline exceeded"), ErrPartial)
+	if !errors.Is(wrapped, ErrPartial) {
+		t.Error("wrapped ErrPartial not detected by errors.Is")
+	}
+}
+
+// TestPartialFlag: the PartialOnCancel accessor is nil-safe.
+func TestPartialFlag(t *testing.T) {
+	var o *SolveOptions
+	if o.Partial() {
+		t.Error("nil options report partial mode")
+	}
+	if !(&SolveOptions{PartialOnCancel: true}).Partial() {
+		t.Error("set flag not reported")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -95,6 +96,10 @@ type CSRGraph struct {
 	offsets []int32
 	adj     []int32
 	weights []int64
+	// total caches the weight sum, maintained by SetWeight, so the
+	// construction-time no-overflow guarantee (Σw fits in int64, hence
+	// every start+w a solver can produce does too) survives mutation.
+	total int64
 }
 
 var _ Graph = (*CSRGraph)(nil)
@@ -108,12 +113,30 @@ type Edge struct {
 // edge list. Self loops and duplicate edges are rejected: a self loop on a
 // positive-weight vertex makes the instance infeasible, and duplicates
 // would silently skew degree-based heuristics.
+//
+// Construction is overflow-safe: vertex and edge counts that do not fit
+// the int32 CSR index type, and weight sets whose total overflows
+// int64, are rejected with errors instead of silently corrupting
+// offsets. The total-weight bound is what guarantees that every
+// interval end (start + w) a solver can produce stays representable:
+// greedy starts never exceed the weight sum.
 func NewCSRGraph(weights []int64, edges []Edge) (*CSRGraph, error) {
 	n := len(weights)
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("core: %d vertices overflow the CSR int32 index type", n)
+	}
+	if len(edges) > (math.MaxInt32-1)/2 {
+		return nil, fmt.Errorf("core: %d edges overflow the CSR int32 offset type", len(edges))
+	}
+	var total int64
 	for _, w := range weights {
 		if w < 0 {
 			return nil, fmt.Errorf("core: negative weight %d", w)
 		}
+		if total > math.MaxInt64-w {
+			return nil, fmt.Errorf("core: total weight overflows int64 (interval ends would wrap)")
+		}
+		total += w
 	}
 	deg := make([]int32, n)
 	for _, e := range edges {
@@ -151,7 +174,7 @@ func NewCSRGraph(weights []int64, edges []Edge) (*CSRGraph, error) {
 	}
 	w := make([]int64, n)
 	copy(w, weights)
-	return &CSRGraph{offsets: offsets, adj: adj, weights: w}, nil
+	return &CSRGraph{offsets: offsets, adj: adj, weights: w, total: total}, nil
 }
 
 // MustCSRGraph is NewCSRGraph that panics on error; for tests and
@@ -170,11 +193,19 @@ func (g *CSRGraph) Len() int { return len(g.weights) }
 // Weight returns the weight of vertex v.
 func (g *CSRGraph) Weight(v int) int64 { return g.weights[v] }
 
-// SetWeight replaces the weight of vertex v.
+// SetWeight replaces the weight of vertex v. Like construction it
+// rejects (by panicking, as for negative weights) updates that would
+// push the graph's total weight past int64, preserving the invariant
+// that no solver-produced interval end can overflow.
 func (g *CSRGraph) SetWeight(v int, w int64) {
 	if w < 0 {
 		panic(fmt.Sprintf("core: negative weight %d", w))
 	}
+	rest := g.total - g.weights[v]
+	if rest > math.MaxInt64-w {
+		panic(fmt.Sprintf("core: weight %d overflows the graph's total weight", w))
+	}
+	g.total = rest + w
 	g.weights[v] = w
 }
 

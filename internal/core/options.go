@@ -53,6 +53,20 @@ type SolveOptions struct {
 	// solver-internal phases nest correctly. Solver code should not set
 	// it directly.
 	Phase *obsv.Span
+	// Injector, when non-nil, is the fault-injection hook: instrumented
+	// sites in the solve pipeline consult it and enact the faults it
+	// schedules (stalls, panics, halo misreads, dropped repair updates).
+	// A nil Injector — the production configuration — disables every
+	// site at zero cost. See internal/chaos for the deterministic,
+	// seeded implementation.
+	Injector Injector
+	// PartialOnCancel makes Portfolio/Best return the best coloring of
+	// the algorithms that completed before cancellation, tagged with the
+	// ErrPartial sentinel, instead of discarding completed work when the
+	// context expires. The returned coloring is still complete and
+	// valid; only the portfolio is truncated. With no completed result,
+	// cancellation errors propagate as before.
+	PartialOnCancel bool
 }
 
 // Context returns the effective context: o.Ctx, or context.Background()
@@ -107,6 +121,34 @@ func (o *SolveOptions) Meters() *obsv.SolveMetrics {
 		return nil
 	}
 	return o.Metrics
+}
+
+// Faults returns the fault injector, or nil when no receiver or no
+// injector is configured. Hot loops should cache the result once per
+// solve rather than calling through the options on every iteration.
+func (o *SolveOptions) Faults() Injector {
+	if o == nil {
+		return nil
+	}
+	return o.Injector
+}
+
+// Fault reports whether the named injection site fires at this visit;
+// with no injector configured it is a single nil check. Instrumented
+// code outside hot loops can call it directly:
+//
+//	if opts.Fault("bdp/post-drop") { ... }
+func (o *SolveOptions) Fault(site FaultSite) bool {
+	if o == nil || o.Injector == nil {
+		return false
+	}
+	return o.Injector.Inject(site)
+}
+
+// Partial reports whether the caller asked for best-so-far results on
+// cancellation (PartialOnCancel); nil receivers report false.
+func (o *SolveOptions) Partial() bool {
+	return o != nil && o.PartialOnCancel
 }
 
 // WithPhase returns a shallow copy of o whose nested phases record under

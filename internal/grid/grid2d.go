@@ -2,6 +2,7 @@ package grid
 
 import (
 	"fmt"
+	"math"
 
 	"stencilivc/internal/core"
 )
@@ -18,14 +19,49 @@ type Grid2D struct {
 var _ core.Graph = (*Grid2D)(nil)
 
 // NewGrid2D allocates a zero-weight X×Y grid. Dimensions must be >= 1.
+// Construction is overflow-safe: the per-axis caps are checked before
+// the product X*Y is ever computed, so dimensions up to math.MaxInt are
+// rejected with an error instead of wrapping into a short (or negative)
+// weight slice and corrupting every derived vertex id.
 func NewGrid2D(x, y int) (*Grid2D, error) {
 	if x < 1 || y < 1 {
 		return nil, fmt.Errorf("grid: invalid 2D dimensions %dx%d", x, y)
 	}
-	if x > 1<<20 || y > 1<<20 || x*y > 1<<28 {
+	// Axis caps first: with both axes <= 2^20 the product fits easily,
+	// so the x*y below can never overflow. checkedCells is belt and
+	// braces should the caps ever be raised.
+	if x > 1<<20 || y > 1<<20 {
 		return nil, fmt.Errorf("grid: 2D dimensions %dx%d too large", x, y)
 	}
-	return &Grid2D{X: x, Y: y, W: make([]int64, x*y)}, nil
+	cells, err := checkedCells(x, y, 1)
+	if err != nil {
+		return nil, err
+	}
+	if cells > 1<<28 {
+		return nil, fmt.Errorf("grid: 2D dimensions %dx%d too large", x, y)
+	}
+	return &Grid2D{X: x, Y: y, W: make([]int64, cells)}, nil
+}
+
+// checkedCells multiplies grid dimensions with explicit overflow
+// checks, returning an error instead of a wrapped product.
+func checkedCells(dims ...int) (int, error) {
+	cells := 1
+	for _, d := range dims {
+		if d > 0 && cells > math.MaxInt/d {
+			return 0, fmt.Errorf("grid: dimension product overflows int")
+		}
+		cells *= d
+	}
+	return cells, nil
+}
+
+// maxCellWeight returns the largest single-cell weight Set accepts on a
+// grid of n cells: any assignment staying under it keeps the total
+// weight — an upper bound on every interval end a greedy solver can
+// produce — within int64.
+func maxCellWeight(n int) int64 {
+	return math.MaxInt64 / int64(n)
 }
 
 // MustGrid2D is NewGrid2D that panics on error.
@@ -39,6 +75,9 @@ func MustGrid2D(x, y int) *Grid2D {
 
 // FromWeights2D builds a grid from a row-major weight slice
 // (weights[j*x+i] is the weight of cell (i,j)). The slice is copied.
+// Weight sets whose total overflows int64 are rejected: the total
+// bounds every interval end (start + w) a solver can produce, so a
+// finite total is what keeps downstream arithmetic exact.
 func FromWeights2D(x, y int, weights []int64) (*Grid2D, error) {
 	g, err := NewGrid2D(x, y)
 	if err != nil {
@@ -47,13 +86,26 @@ func FromWeights2D(x, y int, weights []int64) (*Grid2D, error) {
 	if len(weights) != x*y {
 		return nil, fmt.Errorf("grid: want %d weights, got %d", x*y, len(weights))
 	}
-	for _, w := range weights {
-		if w < 0 {
-			return nil, fmt.Errorf("grid: negative weight %d", w)
-		}
+	if err := checkWeights(weights); err != nil {
+		return nil, err
 	}
 	copy(g.W, weights)
 	return g, nil
+}
+
+// checkWeights rejects negative weights and totals that overflow int64.
+func checkWeights(weights []int64) error {
+	var total int64
+	for _, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("grid: negative weight %d", w)
+		}
+		if total > math.MaxInt64-w {
+			return fmt.Errorf("grid: total weight overflows int64 (interval ends would wrap)")
+		}
+		total += w
+	}
+	return nil
 }
 
 // Len returns the number of vertices X*Y.
@@ -71,10 +123,16 @@ func (g *Grid2D) Coords(v int) (i, j int) { return v % g.X, v / g.X }
 // At returns the weight of cell (i,j).
 func (g *Grid2D) At(i, j int) int64 { return g.W[g.ID(i, j)] }
 
-// Set assigns the weight of cell (i,j).
+// Set assigns the weight of cell (i,j). Negative weights and weights
+// large enough that a full grid of them would overflow the int64 total
+// (and with it solver interval arithmetic) panic, mirroring the
+// constructor's error checks; direct writes to W bypass the guard.
 func (g *Grid2D) Set(i, j int, w int64) {
 	if w < 0 {
 		panic(fmt.Sprintf("grid: negative weight %d", w))
+	}
+	if w > maxCellWeight(len(g.W)) {
+		panic(fmt.Sprintf("grid: weight %d could overflow the grid's total weight", w))
 	}
 	g.W[g.ID(i, j)] = w
 }

@@ -19,14 +19,25 @@ type Grid3D struct {
 var _ core.Graph = (*Grid3D)(nil)
 
 // NewGrid3D allocates a zero-weight X×Y×Z grid. Dimensions must be >= 1.
+// Construction is overflow-safe the same way NewGrid2D is: per-axis
+// caps are checked before the product X*Y*Z is computed, so dimensions
+// up to math.MaxInt error out instead of wrapping into a corrupt index
+// space.
 func NewGrid3D(x, y, z int) (*Grid3D, error) {
 	if x < 1 || y < 1 || z < 1 {
 		return nil, fmt.Errorf("grid: invalid 3D dimensions %dx%dx%d", x, y, z)
 	}
-	if x > 1<<16 || y > 1<<16 || z > 1<<16 || x*y*z > 1<<27 {
+	if x > 1<<16 || y > 1<<16 || z > 1<<16 {
 		return nil, fmt.Errorf("grid: 3D dimensions %dx%dx%d too large", x, y, z)
 	}
-	return &Grid3D{X: x, Y: y, Z: z, W: make([]int64, x*y*z)}, nil
+	cells, err := checkedCells(x, y, z)
+	if err != nil {
+		return nil, err
+	}
+	if cells > 1<<27 {
+		return nil, fmt.Errorf("grid: 3D dimensions %dx%dx%d too large", x, y, z)
+	}
+	return &Grid3D{X: x, Y: y, Z: z, W: make([]int64, cells)}, nil
 }
 
 // MustGrid3D is NewGrid3D that panics on error.
@@ -48,10 +59,8 @@ func FromWeights3D(x, y, z int, weights []int64) (*Grid3D, error) {
 	if len(weights) != x*y*z {
 		return nil, fmt.Errorf("grid: want %d weights, got %d", x*y*z, len(weights))
 	}
-	for _, w := range weights {
-		if w < 0 {
-			return nil, fmt.Errorf("grid: negative weight %d", w)
-		}
+	if err := checkWeights(weights); err != nil {
+		return nil, err
 	}
 	copy(g.W, weights)
 	return g, nil
@@ -78,10 +87,16 @@ func (g *Grid3D) Coords(v int) (i, j, k int) {
 // At returns the weight of cell (i,j,k).
 func (g *Grid3D) At(i, j, k int) int64 { return g.W[g.ID(i, j, k)] }
 
-// Set assigns the weight of cell (i,j,k).
+// Set assigns the weight of cell (i,j,k). Negative weights and weights
+// large enough that a full grid of them would overflow the int64 total
+// panic, mirroring the constructor's error checks; direct writes to W
+// bypass the guard.
 func (g *Grid3D) Set(i, j, k int, w int64) {
 	if w < 0 {
 		panic(fmt.Sprintf("grid: negative weight %d", w))
+	}
+	if w > maxCellWeight(len(g.W)) {
+		panic(fmt.Sprintf("grid: weight %d could overflow the grid's total weight", w))
 	}
 	g.W[g.ID(i, j, k)] = w
 }

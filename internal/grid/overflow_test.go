@@ -1,0 +1,105 @@
+package grid
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNewGrid2DOverflowEdges: construction rejects every dimension
+// combination near the math.MaxInt edge with an error — never a wrapped
+// product, a panic, or a corrupt grid.
+func TestNewGrid2DOverflowEdges(t *testing.T) {
+	for _, tc := range [][2]int{
+		{math.MaxInt, 1},
+		{1, math.MaxInt},
+		{math.MaxInt, math.MaxInt},
+		{math.MaxInt/2 + 1, 2}, // product wraps exactly past MaxInt
+		{1 << 30, 1 << 34},
+		{3_037_000_500, 3_037_000_500}, // ~sqrt(MaxInt64) each
+	} {
+		g, err := NewGrid2D(tc[0], tc[1])
+		if err == nil {
+			t.Errorf("NewGrid2D(%d, %d) accepted; len(W)=%d", tc[0], tc[1], len(g.W))
+		}
+	}
+	// The largest accepted shape still works.
+	g, err := NewGrid2D(1<<14, 1<<14)
+	if err != nil {
+		t.Fatalf("NewGrid2D(2^14, 2^14): %v", err)
+	}
+	if len(g.W) != 1<<28 {
+		t.Errorf("len(W) = %d, want 2^28", len(g.W))
+	}
+}
+
+// TestNewGrid3DOverflowEdges is the 3D analogue.
+func TestNewGrid3DOverflowEdges(t *testing.T) {
+	for _, tc := range [][3]int{
+		{math.MaxInt, 1, 1},
+		{1, math.MaxInt, 1},
+		{1, 1, math.MaxInt},
+		{math.MaxInt, math.MaxInt, math.MaxInt},
+		{1 << 16, 1 << 16, 1 << 16}, // inside axis caps, product too large
+		{1 << 21, 1 << 21, 1 << 21}, // product wraps past MaxInt
+	} {
+		g, err := NewGrid3D(tc[0], tc[1], tc[2])
+		if err == nil {
+			t.Errorf("NewGrid3D(%d, %d, %d) accepted; len(W)=%d", tc[0], tc[1], tc[2], len(g.W))
+		}
+	}
+	if _, err := NewGrid3D(512, 512, 512); err != nil {
+		t.Fatalf("NewGrid3D(512^3): %v", err)
+	}
+}
+
+// TestCheckedCells: the helper detects the exact wrap boundary.
+func TestCheckedCells(t *testing.T) {
+	if _, err := checkedCells(math.MaxInt, 1); err != nil {
+		t.Errorf("MaxInt*1 rejected: %v", err)
+	}
+	if _, err := checkedCells(math.MaxInt, 2); err == nil {
+		t.Error("MaxInt*2 accepted")
+	}
+	if n, err := checkedCells(math.MaxInt/3, 3); err != nil || n != math.MaxInt/3*3 {
+		t.Errorf("(MaxInt/3)*3 = %d, %v", n, err)
+	}
+}
+
+// TestFromWeightsTotalOverflow: weight sets whose sum would wrap int64
+// are rejected so solver interval ends stay representable.
+func TestFromWeightsTotalOverflow(t *testing.T) {
+	if _, err := FromWeights2D(2, 1, []int64{math.MaxInt64, 1}); err == nil {
+		t.Error("2D total-weight overflow accepted")
+	}
+	if _, err := FromWeights2D(2, 1, []int64{math.MaxInt64 - 1, 1}); err != nil {
+		t.Errorf("2D total exactly MaxInt64 rejected: %v", err)
+	}
+	if _, err := FromWeights3D(1, 1, 2, []int64{math.MaxInt64, 1}); err == nil {
+		t.Error("3D total-weight overflow accepted")
+	}
+	if _, err := FromWeights3D(1, 1, 2, []int64{math.MaxInt64 - 1, 1}); err != nil {
+		t.Errorf("3D total exactly MaxInt64 rejected: %v", err)
+	}
+}
+
+// TestSetWeightCap: Set panics on weights a full grid of which would
+// overflow the total, and accepts the boundary value.
+func TestSetWeightCap(t *testing.T) {
+	g := MustGrid2D(2, 2)
+	g.Set(0, 0, math.MaxInt64/4) // boundary: 4 cells of this still fit
+	mustPanic(t, "2D Set over cap", func() { g.Set(0, 1, math.MaxInt64/4+1) })
+
+	g3 := MustGrid3D(2, 2, 2)
+	g3.Set(0, 0, 0, math.MaxInt64/8)
+	mustPanic(t, "3D Set over cap", func() { g3.Set(1, 1, 1, math.MaxInt64/8+1) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}

@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -158,6 +159,13 @@ func All() []Algorithm {
 // span opens on the tracer (on its own lane, so concurrent portfolio
 // runs render as separate rows), and the metrics bundle receives the
 // solve count, wall time, allocations, and resulting maxcolor.
+//
+// Run is also the pipeline's panic boundary: a panic anywhere inside
+// the algorithm (a solver bug, or a fault injector's induced crash that
+// escaped the solver's own containment) is recovered into a typed
+// *core.SolveError carrying the algorithm name — and, for injected
+// panics, the fault site — so one crashing algorithm degrades a
+// portfolio instead of killing the process.
 func Run(alg Algorithm, s grid.Stencil, opts *core.SolveOptions) (core.Coloring, error) {
 	d, ok := Lookup(alg)
 	if !ok {
@@ -183,11 +191,16 @@ func Run(alg Algorithm, s grid.Stencil, opts *core.SolveOptions) (core.Coloring,
 		mallocs0 = readMallocs()
 	}
 	t0 := time.Now()
-	c, err := d.Fn(s, opts.WithPhase(sp))
+	c, err := contained(d, s, opts.WithPhase(sp))
 	dt := time.Since(t0)
 	sp.End()
 	opts.Sink().AddPhase(name, dt)
 	if err != nil {
+		var se *core.SolveError
+		if errors.As(err, &se) {
+			// Already typed with the algorithm name; don't re-wrap.
+			return core.Coloring{}, err
+		}
 		return core.Coloring{}, fmt.Errorf("heuristics: %s: %w", alg, err)
 	}
 	if m != nil {
@@ -197,6 +210,23 @@ func Run(alg Algorithm, s grid.Stencil, opts *core.SolveOptions) (core.Coloring,
 		m.MaxColor.Set(c.MaxColor(s))
 	}
 	return c, nil
+}
+
+// contained invokes the algorithm's solver under a recover that
+// converts panics into typed errors and counts them in the
+// panic-recovery metric. It is a separate function so the deferred
+// recover scopes exactly the solver call.
+func contained(d Descriptor, s grid.Stencil, opts *core.SolveOptions) (c core.Coloring, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = core.PanicToError(string(d.Name), rec)
+			c = core.Coloring{}
+			if m := opts.Meters(); m != nil {
+				m.PanicsRecovered.Add(1)
+			}
+		}
+	}()
+	return d.Fn(s, opts)
 }
 
 // readMallocs snapshots the process's cumulative heap allocation count;

@@ -28,6 +28,12 @@ func fixtureRegistry() *Registry {
 	for _, v := range []int64{0, 1, 2, 3, 5, 8, 9} {
 		h.ObserveInt(v)
 	}
+	r.Counter("solver_fallbacks_total",
+		"Sequential-fallback engagements after a parallel solver degraded.").Add(3)
+	r.Counter("solver_panics_recovered_total",
+		"Solver panics recovered into typed errors instead of crashing.").Add(2)
+	r.Counter("solver_partial_results_total",
+		"Portfolio solves returning a best-so-far valid coloring with ErrPartial.").Add(1)
 	return r
 }
 
@@ -101,6 +107,9 @@ func TestHandler(t *testing.T) {
 	for _, want := range []string{
 		"ivc_vertices_colored_total 42",
 		"ivc_last_maxcolor 17",
+		"solver_fallbacks_total 3",
+		"solver_panics_recovered_total 2",
+		"solver_partial_results_total 1",
 		"go_goroutines",
 		"go_mem_alloc_bytes",
 	} {

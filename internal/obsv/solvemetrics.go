@@ -34,6 +34,22 @@ type SolveMetrics struct {
 	// SolveSeconds is the distribution of per-solve wall times —
 	// ivc_solve_seconds.
 	SolveSeconds *Histogram
+
+	// The degraded-solve taxonomy: how often the pipeline had to step
+	// down its degradation ladder (panic → SolveError → fallback →
+	// partial result) instead of completing on the happy path.
+
+	// Fallbacks counts engagements of a guaranteed sequential path after
+	// a parallel solver degraded (repair non-convergence, worker panic,
+	// dropped repair updates) — solver_fallbacks_total.
+	Fallbacks *Counter
+	// PanicsRecovered counts solver panics recovered into typed errors
+	// instead of crashing the process — solver_panics_recovered_total.
+	PanicsRecovered *Counter
+	// PartialResults counts portfolio solves that returned a best-so-far
+	// valid coloring with ErrPartial after cancellation —
+	// solver_partial_results_total.
+	PartialResults *Counter
 }
 
 // NewSolveMetrics registers the solver taxonomy in r and returns the
@@ -65,5 +81,11 @@ func NewSolveMetrics(r *Registry) *SolveMetrics {
 		SolveSeconds: r.Histogram("ivc_solve_seconds",
 			"Wall time per registry-dispatched solve, in seconds.",
 			ExponentialBuckets(0.0001, 4, 10)),
+		Fallbacks: r.Counter("solver_fallbacks_total",
+			"Sequential-fallback engagements after a parallel solver degraded."),
+		PanicsRecovered: r.Counter("solver_panics_recovered_total",
+			"Solver panics recovered into typed errors instead of crashing."),
+		PartialResults: r.Counter("solver_partial_results_total",
+			"Portfolio solves returning a best-so-far valid coloring with ErrPartial."),
 	}
 }

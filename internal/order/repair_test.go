@@ -1,4 +1,7 @@
-package order
+// External test package (like integration_test.go): colorings come from
+// the registered heuristics, which import order back via the
+// tile-parallel solvers' fallback path.
+package order_test
 
 import (
 	"math/rand"
@@ -7,6 +10,7 @@ import (
 	"stencilivc/internal/core"
 	"stencilivc/internal/grid"
 	"stencilivc/internal/heuristics"
+	. "stencilivc/internal/order"
 )
 
 func TestRepairFixesPerturbedWeights(t *testing.T) {

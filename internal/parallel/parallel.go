@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,6 +10,33 @@ import (
 	"stencilivc/internal/core"
 	"stencilivc/internal/grid"
 	"stencilivc/internal/obsv"
+	"stencilivc/internal/order"
+)
+
+// The fault-injection sites of the tile-parallel solver, consulted via
+// core.SolveOptions.Injector (nil in production, so every site is a
+// single cached-pointer nil check). See internal/chaos for schedules.
+const (
+	// SiteWorkerStall fires once per tile at the start of speculative
+	// coloring; a chaos injector sleeps inside Inject to model a stalled
+	// worker, maximally skewing cross-tile halo read timing.
+	SiteWorkerStall = core.FaultSite("pgreedy/worker-stall")
+	// SiteWorkerPanic fires once per tile task (speculation) and once
+	// per repair group (parallel recolor); a chaos injector panics with
+	// core.InjectedPanic to model a crashing worker. The solver recovers
+	// the panic into a typed core.SolveError and falls back to the
+	// guaranteed sequential path.
+	SiteWorkerPanic = core.FaultSite("pgreedy/worker-panic")
+	// SiteHaloRead fires once per speculative placement; when it fires
+	// the placement ignores every cross-tile neighbor — a forced halo
+	// misread. The conflicts it plants must be found and repaired by the
+	// detect/recolor fixpoint.
+	SiteHaloRead = core.FaultSite("pgreedy/halo-read")
+	// SiteRepairDrop fires once per loser recolored by a parallel repair
+	// round; when it fires the update is dropped and the loser stays
+	// uncolored until the post-fixpoint completion sweep places it — the
+	// sweep, not the round, is the correctness backstop.
+	SiteRepairDrop = core.FaultSite("pgreedy/repair-drop")
 )
 
 // Order selects the tile-local visit order of the speculative phase.
@@ -62,12 +90,22 @@ type Config struct {
 // running up to opts.Parallelism tile workers. The returned coloring is
 // always complete and valid: the solver only returns once the
 // conflict-detection sweep reaches a fixpoint (zero cross-tile
-// conflicts), and intra-tile edges are valid by construction.
+// conflicts) and a completion sweep has re-placed any vertex a degraded
+// repair round left uncolored; intra-tile edges are valid by
+// construction.
 //
 // With Parallelism <= 1 the speculative phase degenerates to a
 // deterministic sequential tile sweep; with more workers the final
 // coloring remains valid on every run but its maxcolor may vary slightly
 // with scheduling, because optimistic halo reads depend on tile timing.
+//
+// Greedy is panic-contained: a worker panic (induced by a fault
+// injector or a genuine bug) is recovered into a typed *core.SolveError
+// and the solve falls back to the guaranteed sequential greedy over the
+// whole instance — the uninstrumented bedrock of the degradation
+// ladder — so a crashing worker degrades latency, never correctness.
+// Cancellation is never masked by the fallback: a canceled context
+// propagates as the context's error.
 func Greedy(s grid.Stencil, cfg Config, opts *core.SolveOptions) (core.Coloring, error) {
 	fg, ok := s.(core.FixedGraph)
 	if !ok {
@@ -75,6 +113,37 @@ func Greedy(s grid.Stencil, cfg Config, opts *core.SolveOptions) (core.Coloring,
 		// correctly, just sequentially.
 		return core.GreedyColorOpts(s, s.LineOrder(), opts)
 	}
+	c, err := speculative(fg, s, cfg, opts)
+	if err == nil {
+		return c, nil
+	}
+	var se *core.SolveError
+	if !errors.As(err, &se) || !se.Panicked {
+		// Ordinary errors (cancellation, invalid tiling) propagate; only
+		// recovered panics degrade to the sequential bedrock.
+		return core.Coloring{}, err
+	}
+	if m := opts.Meters(); m != nil {
+		m.Fallbacks.Add(1)
+	}
+	defer core.StartPhase(opts, "pgreedy/seq-fallback")()
+	return core.GreedyColorOpts(s, fallbackOrder(s, cfg), opts)
+}
+
+// fallbackOrder is the sequential visit order matching the tile-local
+// order of the degraded parallel solve, so the fallback result stays in
+// the same algorithm family (PGLL falls back to GLL's line order, PGLF
+// to GLF's weight order).
+func fallbackOrder(s grid.Stencil, cfg Config) []int {
+	if cfg.Order == OrderWeightDesc {
+		return order.ByWeightDesc(s)
+	}
+	return s.LineOrder()
+}
+
+// speculative runs the speculate/repair/complete pipeline, containing
+// worker panics as typed errors for Greedy to act on.
+func speculative(fg core.FixedGraph, s grid.Stencil, cfg Config, opts *core.SolveOptions) (core.Coloring, error) {
 	size := cfg.TileSize
 	if size <= 0 {
 		if s.Dims() == 3 {
@@ -93,6 +162,7 @@ func Greedy(s grid.Stencil, cfg Config, opts *core.SolveOptions) (core.Coloring,
 	}
 	r := &run{
 		g: fg, s: s, tl: tl, cfg: cfg, opts: opts,
+		inj: opts.Faults(),
 		c:   core.NewColoring(s.Len()),
 		par: min(opts.Par(), len(tl.Tiles)),
 	}
@@ -124,8 +194,14 @@ type run struct {
 	tl   *grid.Tiling
 	cfg  Config
 	opts *core.SolveOptions
-	c    core.Coloring
-	par  int
+	// inj caches opts.Faults() so the per-placement injection checks are
+	// a single pointer compare on the production (nil) path.
+	inj core.Injector
+	c   core.Coloring
+	par int
+	// seqRepair records that the guaranteed sequential repair pass
+	// engaged, so the fallback counter is bumped once per solve.
+	seqRepair bool
 
 	// boundary caches each tile's halo cells (built lazily by fixpoint).
 	boundary [][]int
@@ -229,15 +305,20 @@ func (r *run) place(w *scratch, v, ownTile, mode int) int64 {
 
 // forEach runs fn(worker-scratch, i) for i in [0, n) on r.par
 // goroutines, claiming indices from an atomic counter. The first error
-// (cancellation) stops all workers promptly; scratch counters are
-// flushed into the stats sink on return.
+// (cancellation, recovered worker panic) stops all workers promptly;
+// scratch counters are flushed into the stats sink on return.
+//
+// Worker panics are contained here: each call runs under a recover that
+// converts the panic into a *core.SolveError (keeping the injection
+// site when the panic was induced), so one crashing tile worker
+// surfaces as an error on this solve instead of killing the process.
 func (r *run) forEach(n int, fn func(w *scratch, i int) error) error {
 	par := min(r.par, n)
 	if par <= 1 {
 		w := r.newScratch()
 		defer r.flush(w)
 		for i := 0; i < n; i++ {
-			if err := fn(w, i); err != nil {
+			if err := r.contain(w, i, fn); err != nil {
 				return err
 			}
 		}
@@ -261,7 +342,7 @@ func (r *run) forEach(n int, fn func(w *scratch, i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(w, i); err != nil {
+				if err := r.contain(w, i, fn); err != nil {
 					errOnce.Do(func() { first = err })
 					stop.Store(true)
 					return
@@ -271,6 +352,20 @@ func (r *run) forEach(n int, fn func(w *scratch, i int) error) error {
 	}
 	wg.Wait()
 	return first
+}
+
+// contain invokes fn(w, i), recovering a panic into a typed
+// *core.SolveError and counting it in the panic-recovery metric.
+func (r *run) contain(w *scratch, i int, fn func(w *scratch, i int) error) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = core.PanicToError("", rec)
+			if w.m != nil {
+				w.m.PanicsRecovered.Add(1)
+			}
+		}
+	}()
+	return fn(w, i)
 }
 
 // flush moves a worker's local counters into the shared stats sink and
@@ -316,6 +411,12 @@ func (r *run) speculate(sp *obsv.Span) error {
 			return err
 		}
 		tile := r.tl.Tiles[i]
+		if r.inj != nil {
+			// Worker-level faults: a stall (the injector sleeps inside
+			// Inject) or an induced panic (contained by forEach).
+			r.inj.Inject(SiteWorkerStall)
+			r.inj.Inject(SiteWorkerPanic)
+		}
 		var tsp *obsv.Span
 		if sp != nil {
 			tsp = sp.ChildLane(w.lane, fmt.Sprintf("tile:%d", tile.ID))
@@ -331,7 +432,14 @@ func (r *run) speculate(sp *obsv.Span) error {
 					return err
 				}
 			}
-			atomic.StoreInt64(&start[v], r.place(w, v, tile.ID, mode))
+			m := mode
+			if r.inj != nil && r.inj.Inject(SiteHaloRead) {
+				// Forced halo misread: this placement is blind to every
+				// cross-tile neighbor; the fixpoint must repair whatever
+				// conflicts that plants.
+				m = blindCross
+			}
+			atomic.StoreInt64(&start[v], r.place(w, v, tile.ID, m))
 		}
 		tsp.End()
 		return nil
@@ -431,10 +539,16 @@ func (r *run) fixpoint(sp *obsv.Span, maxRounds int) error {
 		}
 		if nconf == 0 {
 			rsp.End()
-			return nil
+			return r.complete()
 		}
 		sequential := round >= maxRounds || (prev >= 0 && nconf >= prev)
 		prev = nconf
+		if sequential && !r.seqRepair {
+			r.seqRepair = true
+			if meters != nil {
+				meters.Fallbacks.Add(1)
+			}
+		}
 		// Clear every loser before any recoloring starts, so a round's
 		// placements see losers as uncolored rather than as their stale
 		// conflicting intervals; stamp them so skipMarked placements can
@@ -470,7 +584,15 @@ func (r *run) fixpoint(sp *obsv.Span, maxRounds int) error {
 			if err := r.opts.Err(); err != nil {
 				return err
 			}
+			if r.inj != nil {
+				r.inj.Inject(SiteWorkerPanic)
+			}
 			for _, v := range groups[i].verts {
+				if r.inj != nil && r.inj.Inject(SiteRepairDrop) {
+					// Dropped repair update: the loser stays uncolored;
+					// the completion sweep after the fixpoint places it.
+					continue
+				}
 				atomic.StoreInt64(&start[v], r.place(w, v, groups[i].tile, skipMarked))
 			}
 			return nil
@@ -487,4 +609,42 @@ func (r *run) fixpoint(sp *obsv.Span, maxRounds int) error {
 		}
 		// The next detect sweep verifies the fixpoint.
 	}
+}
+
+// complete is the post-fixpoint completion sweep: any vertex still
+// uncolored — dropped repair updates under fault injection, or any
+// future bug that loses a placement — is re-placed sequentially against
+// the settled state, so Greedy's complete-and-valid contract holds on
+// every degraded path. With nothing uncolored (every production run)
+// the sweep is a read-only scan. Placements run one at a time in vertex
+// order against fully-settled neighbors, so they are deterministic and
+// can never introduce a new conflict.
+func (r *run) complete() error {
+	start := r.c.Start
+	var w *scratch
+	var n int64
+	for v := range start {
+		if atomic.LoadInt64(&start[v]) != core.Unset {
+			continue
+		}
+		if w == nil {
+			w = r.newScratch()
+		}
+		atomic.StoreInt64(&start[v], r.place(w, v, r.tl.TileOf(v), readAll))
+		n++
+	}
+	if w == nil {
+		return nil
+	}
+	r.flush(w)
+	if m := r.opts.Meters(); m != nil {
+		m.Repairs.Add(n)
+		if !r.seqRepair {
+			// The sweep acted as the guaranteed path for this solve;
+			// count the fallback engagement once.
+			r.seqRepair = true
+			m.Fallbacks.Add(1)
+		}
+	}
+	return nil
 }

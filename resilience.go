@@ -1,0 +1,30 @@
+// Resilience surface: the failure model's public types. The pipeline
+// never crashes the process on a solver fault — panics are recovered
+// into typed SolveErrors, parallel solvers fall back to their
+// sequential bedrock, and portfolio solves under PartialOnCancel return
+// the best completed coloring tagged ErrPartial. DESIGN.md §11
+// describes the full degradation ladder.
+
+package stencilivc
+
+import "stencilivc/internal/core"
+
+type (
+	// SolveError is the typed error carrying which algorithm failed,
+	// whether it panicked, and — for injected faults — the fault site.
+	SolveError = core.SolveError
+	// FaultSite names an injection point inside the pipeline.
+	FaultSite = core.FaultSite
+	// Injector is the fault-injection hook of SolveOptions; nil (the
+	// production default) costs one pointer comparison per site.
+	Injector = core.Injector
+	// InjectorFunc adapts a function to the Injector interface.
+	InjectorFunc = core.InjectorFunc
+)
+
+// ErrPartial tags a best-so-far result returned by Best or Portfolio
+// when cancellation cut the solve short under
+// SolveOptions.PartialOnCancel. The coloring accompanying it is
+// complete and validated — only the portfolio sweep is incomplete.
+// Test with errors.Is(err, ErrPartial).
+var ErrPartial = core.ErrPartial
