@@ -66,11 +66,15 @@ func run() (err error) {
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the solve through the context (the solvers
-	// poll it) instead of killing the process mid-write; a second signal
-	// falls back to Go's default handling and terminates immediately.
+	// poll it) instead of killing the process mid-write. Unregistering
+	// the handler the moment the context cancels — rather than in the
+	// deferred stopSignals at exit — restores Go's default handling, so
+	// a second signal terminates immediately even if an exit path stalls
+	// (a drain that hangs, a solver ignoring ctx).
 	ctx, stopSignals := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+	context.AfterFunc(ctx, stopSignals)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

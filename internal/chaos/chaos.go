@@ -23,14 +23,18 @@ import (
 // Configure rules before handing the Injector to a solver: the rule
 // table is read-only during injection, so Inject needs no lock.
 type Injector struct {
-	seed  uint64
-	rules map[core.FaultSite]*rule
+	seed uint64
 
-	// sealed flips when Inject first runs; late rule edits panic, since
-	// they would race with lock-free rule reads.
-	sealed atomic.Bool
+	mu     sync.Mutex // guards rules and sealed during construction
+	sealed bool       // set under mu; late rule edits panic
+	rules  map[core.FaultSite]*rule
 
-	mu sync.Mutex // guards rules during construction
+	// frozen is an immutable copy of rules, published exactly once by
+	// sealOnce on the first Inject. Inject reads it lock-free; the
+	// sync.Once gives every injecting goroutine a happens-before edge
+	// on the copy.
+	sealOnce sync.Once
+	frozen   map[core.FaultSite]*rule
 }
 
 // rule is the per-site schedule. Counter fields are atomic; the
@@ -54,17 +58,33 @@ func New(seed uint64) *Injector {
 }
 
 func (in *Injector) rule(site core.FaultSite) *rule {
-	if in.sealed.Load() {
-		panic("chaos: rule added after injection started")
-	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	if in.sealed {
+		panic("chaos: rule added after injection started")
+	}
 	r := in.rules[site]
 	if r == nil {
 		r = &rule{}
 		in.rules[site] = r
 	}
 	return r
+}
+
+// seal publishes the immutable rule snapshot on first call and returns
+// it. Safe for concurrent use; after it returns, rule() refuses edits.
+func (in *Injector) seal() map[core.FaultSite]*rule {
+	in.sealOnce.Do(func() {
+		in.mu.Lock()
+		in.sealed = true
+		frozen := make(map[core.FaultSite]*rule, len(in.rules))
+		for s, r := range in.rules {
+			frozen[s] = r
+		}
+		in.frozen = frozen
+		in.mu.Unlock()
+	})
+	return in.frozen
 }
 
 // OnNth fires site's fault exactly once, on its nth visit (1-based).
@@ -105,8 +125,7 @@ func (in *Injector) Stalling(site core.FaultSite, d time.Duration) *Injector {
 
 // Inject implements core.Injector. It is safe for concurrent use.
 func (in *Injector) Inject(site core.FaultSite) bool {
-	in.sealed.Store(true)
-	r := in.rules[site] // read-only map after sealing
+	r := in.seal()[site] // frozen snapshot: lock-free after first call
 	if r == nil {
 		return false
 	}
@@ -140,9 +159,17 @@ func (in *Injector) Inject(site core.FaultSite) bool {
 	return true
 }
 
+// lookup returns site's rule under mu (nil if unconfigured). The rule's
+// counter fields are atomic, so callers may read them without the lock.
+func (in *Injector) lookup(site core.FaultSite) *rule {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rules[site]
+}
+
 // Visits returns how many times site has been consulted.
 func (in *Injector) Visits(site core.FaultSite) int64 {
-	if r := in.rules[site]; r != nil {
+	if r := in.lookup(site); r != nil {
 		return r.visits.Load()
 	}
 	return 0
@@ -150,7 +177,7 @@ func (in *Injector) Visits(site core.FaultSite) int64 {
 
 // Fires returns how many times site's fault actually fired.
 func (in *Injector) Fires(site core.FaultSite) int64 {
-	if r := in.rules[site]; r != nil {
+	if r := in.lookup(site); r != nil {
 		return r.fires.Load()
 	}
 	return 0
@@ -158,6 +185,8 @@ func (in *Injector) Fires(site core.FaultSite) int64 {
 
 // TotalFires sums fires across every configured site.
 func (in *Injector) TotalFires() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	var n int64
 	for _, r := range in.rules {
 		n += r.fires.Load()
@@ -168,6 +197,8 @@ func (in *Injector) TotalFires() int64 {
 // String renders the per-site visit/fire counters (sites sorted) for
 // test failure messages.
 func (in *Injector) String() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	sites := make([]string, 0, len(in.rules))
 	for s := range in.rules {
 		sites = append(sites, string(s))

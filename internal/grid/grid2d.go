@@ -14,6 +14,11 @@ type Grid2D struct {
 	X, Y int
 	// W holds the vertex weights in row-major order; len(W) == X*Y.
 	W []int64
+	// total caches the weight sum, maintained by Set and the
+	// constructors, so the no-overflow guarantee (Σw fits in int64,
+	// hence every interval end start+w a solver can produce does too)
+	// survives mutation. Direct writes to W leave it stale.
+	total int64
 }
 
 var _ core.Graph = (*Grid2D)(nil)
@@ -56,14 +61,6 @@ func checkedCells(dims ...int) (int, error) {
 	return cells, nil
 }
 
-// maxCellWeight returns the largest single-cell weight Set accepts on a
-// grid of n cells: any assignment staying under it keeps the total
-// weight — an upper bound on every interval end a greedy solver can
-// produce — within int64.
-func maxCellWeight(n int) int64 {
-	return math.MaxInt64 / int64(n)
-}
-
 // MustGrid2D is NewGrid2D that panics on error.
 func MustGrid2D(x, y int) *Grid2D {
 	g, err := NewGrid2D(x, y)
@@ -86,26 +83,29 @@ func FromWeights2D(x, y int, weights []int64) (*Grid2D, error) {
 	if len(weights) != x*y {
 		return nil, fmt.Errorf("grid: want %d weights, got %d", x*y, len(weights))
 	}
-	if err := checkWeights(weights); err != nil {
+	total, err := checkWeights(weights)
+	if err != nil {
 		return nil, err
 	}
 	copy(g.W, weights)
+	g.total = total
 	return g, nil
 }
 
-// checkWeights rejects negative weights and totals that overflow int64.
-func checkWeights(weights []int64) error {
+// checkWeights rejects negative weights and totals that overflow int64,
+// returning the total for the grid's running-sum cache.
+func checkWeights(weights []int64) (int64, error) {
 	var total int64
 	for _, w := range weights {
 		if w < 0 {
-			return fmt.Errorf("grid: negative weight %d", w)
+			return 0, fmt.Errorf("grid: negative weight %d", w)
 		}
 		if total > math.MaxInt64-w {
-			return fmt.Errorf("grid: total weight overflows int64 (interval ends would wrap)")
+			return 0, fmt.Errorf("grid: total weight overflows int64 (interval ends would wrap)")
 		}
 		total += w
 	}
-	return nil
+	return total, nil
 }
 
 // Len returns the number of vertices X*Y.
@@ -123,18 +123,23 @@ func (g *Grid2D) Coords(v int) (i, j int) { return v % g.X, v / g.X }
 // At returns the weight of cell (i,j).
 func (g *Grid2D) At(i, j int) int64 { return g.W[g.ID(i, j)] }
 
-// Set assigns the weight of cell (i,j). Negative weights and weights
-// large enough that a full grid of them would overflow the int64 total
-// (and with it solver interval arithmetic) panic, mirroring the
-// constructor's error checks; direct writes to W bypass the guard.
+// Set assigns the weight of cell (i,j). Negative weights, and updates
+// that would push the grid's running total weight past int64 (wrapping
+// solver interval arithmetic), panic — exactly the assignments the
+// constructors reject, so any grid buildable via FromWeights2D is
+// buildable via Set. Direct writes to W bypass the guard and leave the
+// cached total stale.
 func (g *Grid2D) Set(i, j int, w int64) {
 	if w < 0 {
 		panic(fmt.Sprintf("grid: negative weight %d", w))
 	}
-	if w > maxCellWeight(len(g.W)) {
-		panic(fmt.Sprintf("grid: weight %d could overflow the grid's total weight", w))
+	id := g.ID(i, j)
+	rest := g.total - g.W[id]
+	if rest > math.MaxInt64-w {
+		panic(fmt.Sprintf("grid: weight %d overflows the grid's total weight", w))
 	}
-	g.W[g.ID(i, j)] = w
+	g.total = rest + w
+	g.W[id] = w
 }
 
 // Neighbors appends the 9-pt stencil neighbors of v (up to 8) to buf.
@@ -263,6 +268,7 @@ func (g *Grid2D) Row(j int) []int64 {
 func (g *Grid2D) Clone() *Grid2D {
 	c := MustGrid2D(g.X, g.Y)
 	copy(c.W, g.W)
+	c.total = g.total
 	return c
 }
 

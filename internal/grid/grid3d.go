@@ -2,6 +2,7 @@ package grid
 
 import (
 	"fmt"
+	"math"
 
 	"stencilivc/internal/core"
 )
@@ -14,6 +15,9 @@ type Grid3D struct {
 	X, Y, Z int
 	// W holds the vertex weights, x-fastest; len(W) == X*Y*Z.
 	W []int64
+	// total caches the weight sum, as in Grid2D. Direct writes to W —
+	// including Set through a Layer view — leave it stale.
+	total int64
 }
 
 var _ core.Graph = (*Grid3D)(nil)
@@ -59,10 +63,12 @@ func FromWeights3D(x, y, z int, weights []int64) (*Grid3D, error) {
 	if len(weights) != x*y*z {
 		return nil, fmt.Errorf("grid: want %d weights, got %d", x*y*z, len(weights))
 	}
-	if err := checkWeights(weights); err != nil {
+	total, err := checkWeights(weights)
+	if err != nil {
 		return nil, err
 	}
 	copy(g.W, weights)
+	g.total = total
 	return g, nil
 }
 
@@ -87,18 +93,21 @@ func (g *Grid3D) Coords(v int) (i, j, k int) {
 // At returns the weight of cell (i,j,k).
 func (g *Grid3D) At(i, j, k int) int64 { return g.W[g.ID(i, j, k)] }
 
-// Set assigns the weight of cell (i,j,k). Negative weights and weights
-// large enough that a full grid of them would overflow the int64 total
-// panic, mirroring the constructor's error checks; direct writes to W
-// bypass the guard.
+// Set assigns the weight of cell (i,j,k). Negative weights, and updates
+// that would push the grid's running total weight past int64, panic —
+// the same assignments FromWeights3D rejects; direct writes to W bypass
+// the guard and leave the cached total stale.
 func (g *Grid3D) Set(i, j, k int, w int64) {
 	if w < 0 {
 		panic(fmt.Sprintf("grid: negative weight %d", w))
 	}
-	if w > maxCellWeight(len(g.W)) {
-		panic(fmt.Sprintf("grid: weight %d could overflow the grid's total weight", w))
+	id := g.ID(i, j, k)
+	rest := g.total - g.W[id]
+	if rest > math.MaxInt64-w {
+		panic(fmt.Sprintf("grid: weight %d overflows the grid's total weight", w))
 	}
-	g.W[g.ID(i, j, k)] = w
+	g.total = rest + w
+	g.W[id] = w
 }
 
 // Neighbors appends the 27-pt stencil neighbors of v (up to 26) to buf.
@@ -223,16 +232,26 @@ func (s SevenPt) Degree(v int) int {
 var _ core.DegreeGraph = SevenPt{}
 
 // Layer returns layer k of the 3D grid as a 2D grid sharing the same
-// weight storage (mutations are visible in both).
+// weight storage (mutations are visible in both). The view carries its
+// own running total (the layer's slice sum, a subtotal of the parent's,
+// so its Set guard can only be stricter); Set through the view updates
+// the view's total but leaves the parent's cached total stale, like any
+// direct write to W.
 func (g *Grid3D) Layer(k int) *Grid2D {
 	base := k * g.X * g.Y
-	return &Grid2D{X: g.X, Y: g.Y, W: g.W[base : base+g.X*g.Y]}
+	w := g.W[base : base+g.X*g.Y]
+	var total int64
+	for _, wv := range w {
+		total += wv
+	}
+	return &Grid2D{X: g.X, Y: g.Y, W: w, total: total}
 }
 
 // Clone returns a deep copy of the grid.
 func (g *Grid3D) Clone() *Grid3D {
 	c := MustGrid3D(g.X, g.Y, g.Z)
 	copy(c.W, g.W)
+	c.total = g.total
 	return c
 }
 

@@ -82,16 +82,25 @@ func TestFromWeightsTotalOverflow(t *testing.T) {
 	}
 }
 
-// TestSetWeightCap: Set panics on weights a full grid of which would
-// overflow the total, and accepts the boundary value.
-func TestSetWeightCap(t *testing.T) {
+// TestSetWeightTotalOverflow: Set panics exactly when the grid's real
+// total would overflow int64 — the same boundary the constructors
+// enforce — and never on a large weight the running total still absorbs.
+func TestSetWeightTotalOverflow(t *testing.T) {
 	g := MustGrid2D(2, 2)
-	g.Set(0, 0, math.MaxInt64/4) // boundary: 4 cells of this still fit
-	mustPanic(t, "2D Set over cap", func() { g.Set(0, 1, math.MaxInt64/4+1) })
+	// One huge cell among zeros is legal via FromWeights2D, so Set must
+	// accept it too (the old per-cell cap of MaxInt64/len(W) did not).
+	g.Set(0, 0, math.MaxInt64-1)
+	g.Set(0, 1, 1) // total exactly MaxInt64: boundary accepted
+	mustPanic(t, "2D Set past total", func() { g.Set(1, 0, 1) })
+	// Replacing a weight frees budget for another cell.
+	g.Set(0, 0, 0)
+	g.Set(1, 0, math.MaxInt64-1)
 
 	g3 := MustGrid3D(2, 2, 2)
-	g3.Set(0, 0, 0, math.MaxInt64/8)
-	mustPanic(t, "3D Set over cap", func() { g3.Set(1, 1, 1, math.MaxInt64/8+1) })
+	g3.Set(0, 0, 0, math.MaxInt64)
+	mustPanic(t, "3D Set past total", func() { g3.Set(1, 1, 1, 1) })
+	g3.Set(0, 0, 0, 7)
+	g3.Set(1, 1, 1, math.MaxInt64-7)
 }
 
 func mustPanic(t *testing.T, name string, fn func()) {

@@ -22,7 +22,11 @@ import (
 const cancelLatencyBound = 500 * time.Millisecond
 
 // testCancelLatency runs alg on a 2048² grid, cancels mid-solve, and
-// asserts the solver returns context.Canceled within the bound.
+// asserts the solver returns context.Canceled within the bound. The
+// whole test suite runs packages concurrently, so a single probe can be
+// starved for seconds by an unlucky scheduling storm; the contract is
+// therefore best-of-three — contention noise rarely hits every attempt,
+// while a real polling regression slows all of them.
 func testCancelLatency(t *testing.T, alg Algorithm) {
 	t.Helper()
 	if raceEnabled {
@@ -37,6 +41,23 @@ func testCancelLatency(t *testing.T, alg Algorithm) {
 	for v := range g.W {
 		g.W[v] = int64(v%9) + 1
 	}
+	const attempts = 3
+	var latencies []time.Duration
+	for range attempts {
+		latency := cancelLatencyProbe(t, alg, g)
+		if latency <= cancelLatencyBound {
+			return
+		}
+		latencies = append(latencies, latency)
+	}
+	t.Errorf("%s kept running after cancel on all %d attempts (%v), bound %v (CtxCheckInterval=%d)",
+		alg, attempts, latencies, cancelLatencyBound, core.CtxCheckInterval)
+}
+
+// cancelLatencyProbe performs one mid-solve cancellation and returns
+// how long the solver kept running afterwards.
+func cancelLatencyProbe(t *testing.T, alg Algorithm, g *grid.Grid2D) time.Duration {
+	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	done := make(chan error, 1)
@@ -60,12 +81,10 @@ func testCancelLatency(t *testing.T, alg Algorithm) {
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("%s: err = %v, want context.Canceled", alg, err)
 		}
-		if latency > cancelLatencyBound {
-			t.Errorf("%s kept running %v after cancel, bound %v (CtxCheckInterval=%d)",
-				alg, latency, cancelLatencyBound, core.CtxCheckInterval)
-		}
+		return latency
 	case <-time.After(30 * time.Second):
 		t.Fatalf("%s ignored cancellation entirely", alg)
+		return 0
 	}
 }
 
