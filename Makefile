@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check doclint linkcheck fuzz-short bench microbench experiments experiments-full stkde cover clean
+.PHONY: all build vet test race check doclint linkcheck fuzz-short bench benchdiff-smoke microbench experiments experiments-full stkde cover clean
 
 all: build check
 
@@ -42,21 +42,37 @@ fuzz-short:
 
 # check is the CI gate: static analysis, the full suite under the race
 # detector (so the portfolio's concurrency paths are race-checked on
-# every build), a short fuzz pass over every fuzz target, and the
-# documentation lints. It is part of the default `make` flow via `all`.
-check: vet race fuzz-short doclint linkcheck
+# every build; the slog nil-sink and injector nil-path AllocsPerRun pins
+# run here too), a short fuzz pass over every fuzz target, the
+# documentation lints, and the benchdiff self-diff smoke. It is part of
+# the default `make` flow via `all`.
+check: vet race fuzz-short doclint linkcheck benchdiff-smoke
 
 # bench runs the committed performance suite (placement kernel, figure
 # runtimes, sequential-vs-parallel scaling) and writes machine-readable
-# numbers to BENCH_PR2.json, plus a Prometheus snapshot of the solver
-# metrics next to it. Use `make bench BENCH_FLAGS=-quick` for a fast
+# numbers — plus git/wall-clock/runtime-sampler trajectory metadata —
+# to $(BENCH_OUT), with a Prometheus snapshot of the solver metrics
+# next to it. Each PR that changes performance-relevant code runs
+# `make bench BENCH_OUT=BENCH_PR<n>.json`, commits the file, and gates
+# with `go run ./cmd/benchdiff BENCH_PR<m>.json BENCH_PR<n>.json`
+# against the previous snapshot (BENCH_PR2.json is the PR 2 baseline
+# and stays untouched). Use `make bench BENCH_FLAGS=-quick` for a fast
 # smoke run.
+BENCH_OUT ?= BENCH_PR5.json
 bench:
-	$(GO) run ./cmd/ivcbench $(BENCH_FLAGS) -out BENCH_PR2.json -metrics BENCH_PR2.metrics.prom
+	$(GO) run ./cmd/ivcbench $(BENCH_FLAGS) -out $(BENCH_OUT) -metrics $(BENCH_OUT:.json=.metrics.prom)
 
-# microbench runs every in-tree testing.B benchmark instead.
+# benchdiff-smoke self-diffs the committed baseline: zero deltas, exit
+# 0. It keeps the gate tool itself (parsers, matching, table, exit
+# codes) from regressing without needing a fresh bench run in CI.
+benchdiff-smoke:
+	$(GO) run ./cmd/benchdiff BENCH_PR2.json BENCH_PR2.json
+
+# microbench runs every in-tree testing.B benchmark; -run '^$$' skips
+# the unit tests so benchmark packages don't re-run the full suite
+# first.
 microbench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench=. -benchmem ./...
 
 experiments:
 	$(GO) run ./cmd/experiments -out results

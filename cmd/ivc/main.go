@@ -14,6 +14,7 @@
 //	ivc -alg BDP -in g.ivc -cpuprofile cpu.pprof -memprofile mem.pprof
 //	ivc -alg PGLL -par 8 -in g.ivc -trace out.json   phase spans for chrome://tracing
 //	ivc -alg BDP -in g.ivc -http :6060 -linger 30s   serve /metrics, /debug/vars, /debug/pprof
+//	ivc -alg best -in g.ivc -log events.jsonl        structured solve-event log (JSON lines)
 //
 // Instances use the text format of internal/grid: a header line
 // "ivc2d X Y" or "ivc3d X Y Z" followed by the cell weights.
@@ -60,6 +61,7 @@ func run() (err error) {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write phase spans to this file in Chrome trace format")
+	logPath := flag.String("log", "", "write the structured solve-event log (JSON lines) to this file ('-' for stderr)")
 	httpAddr := flag.String("http", "", "serve /metrics (Prometheus), /debug/vars (expvar), and /debug/pprof on this address")
 	linger := flag.Duration("linger", 0, "with -http, keep serving this long after the solve finishes")
 	partial := flag.Bool("partial", false, "with -alg best and -timeout (or ^C), report the best completed algorithm instead of aborting")
@@ -126,7 +128,7 @@ func run() (err error) {
 		Stats:           &stencilivc.Stats{},
 		PartialOnCancel: *partial,
 	}
-	obsDone, err := setupObs(ctx, *tracePath, *httpAddr, *linger, opts)
+	obsDone, err := setupObs(ctx, *tracePath, *httpAddr, *logPath, *linger, opts)
 	if err != nil {
 		return err
 	}
@@ -202,14 +204,17 @@ func run() (err error) {
 const shutdownGrace = 5 * time.Second
 
 // setupObs attaches the requested observability sinks to opts: a trace
-// when -trace was given, and a metrics registry served over HTTP (with
-// expvar and pprof riding on the default mux) when -http was given. The
-// returned finalizer writes the Chrome trace file, keeps the HTTP
+// when -trace was given, a structured solve-event log when -log was
+// given, and a metrics registry — fed by both the solvers and a runtime
+// sampler — served over HTTP (with expvar and pprof riding on the
+// default mux) when -http was given. The
+// returned finalizer writes the Chrome trace file, closes the event
+// log, keeps the HTTP
 // endpoints up for the -linger window (cut short by SIGINT/SIGTERM via
 // ctx), and then shuts the server down gracefully so an in-flight
 // /metrics scrape finishes instead of seeing a reset connection; run
 // defers it so every exit path flushes the trace.
-func setupObs(ctx context.Context, tracePath, httpAddr string, linger time.Duration,
+func setupObs(ctx context.Context, tracePath, httpAddr, logPath string, linger time.Duration,
 	opts *stencilivc.SolveOptions) (func() error, error) {
 
 	var tr *stencilivc.Trace
@@ -217,10 +222,22 @@ func setupObs(ctx context.Context, tracePath, httpAddr string, linger time.Durat
 		tr = stencilivc.NewTrace()
 		opts.Trace = tr
 	}
+	var logFile *os.File
+	if logPath == "-" {
+		opts.Events = stencilivc.NewJSONEventSink(os.Stderr)
+	} else if logPath != "" {
+		f, err := os.Create(logPath)
+		if err != nil {
+			return nil, err
+		}
+		logFile = f
+		opts.Events = stencilivc.NewJSONEventSink(f)
+	}
 	var srv *http.Server
 	if httpAddr != "" {
 		reg := stencilivc.NewMetricsRegistry()
 		opts.Metrics = stencilivc.NewSolveMetrics(reg)
+		opts.Sampler = stencilivc.NewRuntimeSampler(reg, 0)
 		reg.Publish("ivc")
 		http.Handle("/metrics", stencilivc.MetricsHandler(reg))
 		ln, err := net.Listen("tcp", httpAddr)
@@ -255,6 +272,12 @@ func setupObs(ctx context.Context, tracePath, httpAddr string, linger time.Durat
 				return err
 			}
 			fmt.Printf("trace: %d spans -> %s\n", tr.Len(), tracePath)
+		}
+		if logFile != nil {
+			if err := logFile.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("events: %d -> %s\n", opts.Events.Emitted(), logPath)
 		}
 		if srv == nil {
 			return nil

@@ -1,13 +1,18 @@
-// Command ivcbench runs the PR 2 performance suite and writes the
+// Command ivcbench runs the committed performance suite and writes the
 // results as machine-readable JSON (ns/op, allocs/op, maxcolor, and
-// sequential-vs-parallel speedups), so perf numbers can be committed and
-// compared across machines and revisions.
+// sequential-vs-parallel speedups) plus trajectory metadata — git
+// commit/branch/dirty, wall-clock, and a runtime-sampler summary of the
+// GC and scheduler interference the run measured under — so perf
+// numbers can be committed per PR and diffed across revisions with
+// cmd/benchdiff.
 //
 // Usage:
 //
-//	ivcbench -out BENCH_PR2.json           full suite (2048^2 2D, 128^3 3D)
+//	ivcbench -out BENCH_PR5.json           full suite (2048^2 2D, 128^3 3D)
 //	ivcbench -quick -out /dev/stdout       small grids, for smoke runs
 //	ivcbench -metrics BENCH.metrics.prom   also snapshot solver metrics
+//	ivcbench -log BENCH.events.jsonl       also write the solve-event log
+//	ivcbench -sample 5ms                   runtime sampler interval (0 = off)
 //
 // The suite covers:
 //   - PlaceLowest micro-kernels on 9-pt and 27-pt stencils (the
@@ -26,8 +31,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/exec"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -50,17 +57,58 @@ type Result struct {
 	Speedup  float64 `json:"speedup,omitempty"`
 }
 
+// GitInfo pins a report to the revision it measured, so benchdiff can
+// label a trajectory point and a dirty tree is never mistaken for a
+// committed one.
+type GitInfo struct {
+	Commit string `json:"commit,omitempty"`
+	Branch string `json:"branch,omitempty"`
+	Dirty  bool   `json:"dirty,omitempty"`
+}
+
 // Report is the top-level JSON document.
 type Report struct {
-	GeneratedUnix int64    `json:"generated_unix"`
-	GoVersion     string   `json:"go_version"`
-	GOOS          string   `json:"goos"`
-	GOARCH        string   `json:"goarch"`
-	NumCPU        int      `json:"num_cpu"`
-	GOMAXPROCS    int      `json:"gomaxprocs"`
-	Quick         bool     `json:"quick"`
-	Interrupted   bool     `json:"interrupted,omitempty"`
-	Results       []Result `json:"results"`
+	GeneratedUnix int64  `json:"generated_unix"`
+	Started       string `json:"started,omitempty"`
+	WallSeconds   float64 `json:"wall_seconds,omitempty"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	Quick         bool   `json:"quick"`
+	Git           *GitInfo `json:"git,omitempty"`
+	// Runtime summarizes what the runtime sampler saw across the whole
+	// run: GC pauses, scheduler latencies, heap and goroutine peaks —
+	// the measurement conditions behind the numbers.
+	Runtime     *stencilivc.RuntimeSummary `json:"runtime,omitempty"`
+	Interrupted bool                       `json:"interrupted,omitempty"`
+	Results     []Result                   `json:"results"`
+}
+
+// gitInfo shells out to git for commit/branch/dirty; best-effort — a
+// missing git binary or a non-repo working directory yields nil, and
+// the report simply omits the git block.
+func gitInfo() *GitInfo {
+	out := func(args ...string) (string, bool) {
+		b, err := exec.Command("git", args...).Output()
+		if err != nil {
+			return "", false
+		}
+		return strings.TrimSpace(string(b)), true
+	}
+	commit, ok := out("rev-parse", "HEAD")
+	if !ok {
+		return nil
+	}
+	g := &GitInfo{Commit: commit}
+	if branch, ok := out("rev-parse", "--abbrev-ref", "HEAD"); ok {
+		g.Branch = branch
+	}
+	if status, ok := out("status", "--porcelain"); ok {
+		g.Dirty = status != ""
+	}
+	return g
 }
 
 // errInterrupted aborts the remaining suite stages after a SIGINT or
@@ -75,10 +123,12 @@ func main() {
 }
 
 func run() error {
-	out := flag.String("out", "BENCH_PR2.json", "output JSON file ('-' for stdout)")
+	out := flag.String("out", "BENCH_PR5.json", "output JSON file ('-' for stdout)")
 	quick := flag.Bool("quick", false, "use small grids (fast smoke run)")
 	seed := flag.Int64("seed", 1, "weight RNG seed for the scaling grids")
 	metricsOut := flag.String("metrics", "", "also write a Prometheus snapshot of the solver metrics to this file")
+	logPath := flag.String("log", "", "write the structured solve-event log (JSON lines) to this file ('-' for stderr)")
+	sample := flag.Duration("sample", 10*time.Millisecond, "runtime sampler interval (0 disables the sampler)")
 	flag.Parse()
 
 	// ^C finishes the in-flight benchmark, then writes a partial report
@@ -94,15 +144,40 @@ func run() error {
 		reg = stencilivc.NewMetricsRegistry()
 		sm = stencilivc.NewSolveMetrics(reg)
 	}
+	// The sampler runs across the whole suite (not per-solve): its
+	// summary describes the measurement conditions — GC pauses, scheduler
+	// stalls, heap growth — that the committed numbers were taken under.
+	// With -metrics its families also land in the Prometheus snapshot.
+	var sampler *stencilivc.RuntimeSampler
+	if *sample > 0 {
+		sampler = stencilivc.NewRuntimeSampler(reg, *sample)
+		sampler.Start()
+	}
+	var events *stencilivc.EventSink
+	var logFile *os.File
+	if *logPath == "-" {
+		events = stencilivc.NewJSONEventSink(os.Stderr)
+	} else if *logPath != "" {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		logFile = f
+		events = stencilivc.NewJSONEventSink(f)
+	}
 
+	start := time.Now()
 	rep := &Report{
-		GeneratedUnix: time.Now().Unix(),
+		GeneratedUnix: start.Unix(),
+		Started:       start.UTC().Format(time.RFC3339),
 		GoVersion:     runtime.Version(),
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Quick:         *quick,
+		Git:           gitInfo(),
 	}
 
 	size2, size3 := 2048, 128
@@ -115,16 +190,29 @@ func run() error {
 		if err := checkpoint(ctx); err != nil {
 			return err
 		}
-		if err := benchFigRuntimes(ctx, rep, sm); err != nil {
+		if err := benchFigRuntimes(ctx, rep, sm, events); err != nil {
 			return err
 		}
-		return benchParallel(ctx, rep, size2, size3, *seed, sm)
+		return benchParallel(ctx, rep, size2, size3, *seed, sm, events)
 	}()
 	if errors.Is(err, errInterrupted) {
 		rep.Interrupted = true
 		note("interrupted — writing partial report (%d results)", len(rep.Results))
 	} else if err != nil {
 		return err
+	}
+
+	if sampler != nil {
+		sampler.Stop()
+		sum := sampler.Summary()
+		rep.Runtime = &sum
+		note("runtime: %d samples, %d GC cycles, %d pauses (total %.3fms, max %.3fms)",
+			sum.Samples, sum.GCCycles, sum.GCPauseCount,
+			sum.GCPauseTotalSeconds*1e3, sum.GCPauseMaxSeconds*1e3)
+	}
+	rep.WallSeconds = time.Since(start).Seconds()
+	if logFile != nil {
+		note("events: %d -> %s", events.Emitted(), *logPath)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -227,7 +315,7 @@ func benchPlaceLowest(rep *Report, sm *stencilivc.SolveMetrics) {
 
 // benchFigRuntimes reruns the per-algorithm runtime comparisons of
 // Figures 5a (2D) and 7a (3D) on the largest Dengue suite instances.
-func benchFigRuntimes(ctx context.Context, rep *Report, sm *stencilivc.SolveMetrics) error {
+func benchFigRuntimes(ctx context.Context, rep *Report, sm *stencilivc.SolveMetrics, ev *stencilivc.EventSink) error {
 	s2, err := datasets.Suite2D(datasets.SuiteOptions{Seed: 1, Stride: 2, MaxDim: 32})
 	if err != nil {
 		return err
@@ -274,7 +362,7 @@ func benchFigRuntimes(ctx context.Context, rep *Report, sm *stencilivc.SolveMetr
 		var mc int64
 		br := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				c, err := stencilivc.Solve(alg, g2, &stencilivc.SolveOptions{Metrics: sm})
+				c, err := stencilivc.Solve(alg, g2, &stencilivc.SolveOptions{Metrics: sm, Events: ev})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -291,7 +379,7 @@ func benchFigRuntimes(ctx context.Context, rep *Report, sm *stencilivc.SolveMetr
 		var mc int64
 		br := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				c, err := stencilivc.Solve(alg, g3, &stencilivc.SolveOptions{Metrics: sm})
+				c, err := stencilivc.Solve(alg, g3, &stencilivc.SolveOptions{Metrics: sm, Events: ev})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -307,7 +395,7 @@ func benchFigRuntimes(ctx context.Context, rep *Report, sm *stencilivc.SolveMetr
 // against sequential GLL on a size2^2 2D grid and a size3^3 3D grid, at
 // worker counts 1, 2, 4, ..., NumCPU. Speedup is sequential ns/op over
 // parallel ns/op; on a single-core runner it stays near 1.
-func benchParallel(ctx context.Context, rep *Report, size2, size3 int, seed int64, sm *stencilivc.SolveMetrics) error {
+func benchParallel(ctx context.Context, rep *Report, size2, size3 int, seed int64, sm *stencilivc.SolveMetrics, ev *stencilivc.EventSink) error {
 	parSweep := []int{1}
 	for p := 2; p <= runtime.NumCPU(); p *= 2 {
 		parSweep = append(parSweep, p)
@@ -318,7 +406,7 @@ func benchParallel(ctx context.Context, rep *Report, size2, size3 int, seed int6
 		var solveErr error
 		br := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				c, err := stencilivc.Solve(alg, s, &stencilivc.SolveOptions{Parallelism: par, Metrics: sm})
+				c, err := stencilivc.Solve(alg, s, &stencilivc.SolveOptions{Parallelism: par, Metrics: sm, Events: ev})
 				if err != nil {
 					solveErr = err
 					b.FailNow()

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"stencilivc/internal/core"
+	"stencilivc/internal/obsv"
 )
 
 // Injector is a deterministic, seeded core.Injector. Rules attach to
@@ -25,16 +26,23 @@ import (
 type Injector struct {
 	seed uint64
 
-	mu     sync.Mutex // guards rules and sealed during construction
+	mu     sync.Mutex // guards rules, events, and sealed during construction
 	sealed bool       // set under mu; late rule edits panic
 	rules  map[core.FaultSite]*rule
+	events *obsv.EventSink
 
-	// frozen is an immutable copy of rules, published exactly once by
-	// sealOnce on the first Inject. Inject reads it lock-free; the
-	// sync.Once gives every injecting goroutine a happens-before edge
-	// on the copy.
+	// frozen is an immutable snapshot of the configuration (rules and
+	// event sink), published exactly once by sealOnce on the first
+	// Inject. Inject reads it lock-free; the sync.Once gives every
+	// injecting goroutine a happens-before edge on the copy.
 	sealOnce sync.Once
-	frozen   map[core.FaultSite]*rule
+	frozen   frozenConfig
+}
+
+// frozenConfig is the immutable post-seal view of an Injector.
+type frozenConfig struct {
+	rules  map[core.FaultSite]*rule
+	events *obsv.EventSink
 }
 
 // rule is the per-site schedule. Counter fields are atomic; the
@@ -71,17 +79,18 @@ func (in *Injector) rule(site core.FaultSite) *rule {
 	return r
 }
 
-// seal publishes the immutable rule snapshot on first call and returns
-// it. Safe for concurrent use; after it returns, rule() refuses edits.
-func (in *Injector) seal() map[core.FaultSite]*rule {
+// seal publishes the immutable configuration snapshot on first call and
+// returns it. Safe for concurrent use; after it returns, rule() and
+// WithEvents refuse edits.
+func (in *Injector) seal() frozenConfig {
 	in.sealOnce.Do(func() {
 		in.mu.Lock()
 		in.sealed = true
-		frozen := make(map[core.FaultSite]*rule, len(in.rules))
+		rules := make(map[core.FaultSite]*rule, len(in.rules))
 		for s, r := range in.rules {
-			frozen[s] = r
+			rules[s] = r
 		}
-		in.frozen = frozen
+		in.frozen = frozenConfig{rules: rules, events: in.events}
 		in.mu.Unlock()
 	})
 	return in.frozen
@@ -123,9 +132,25 @@ func (in *Injector) Stalling(site core.FaultSite, d time.Duration) *Injector {
 	return in
 }
 
+// WithEvents makes every fault firing emit a fault.injected record on
+// sink (site plus visit number), so an event log shows injected faults
+// interleaved with the solve events they provoked. Like the rule
+// builders it must be called before the injector is handed to a solver;
+// a call after injection started panics.
+func (in *Injector) WithEvents(sink *obsv.EventSink) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.sealed {
+		panic("chaos: event sink attached after injection started")
+	}
+	in.events = sink
+	return in
+}
+
 // Inject implements core.Injector. It is safe for concurrent use.
 func (in *Injector) Inject(site core.FaultSite) bool {
-	r := in.seal()[site] // frozen snapshot: lock-free after first call
+	cfg := in.seal() // frozen snapshot: lock-free after first call
+	r := cfg.rules[site]
 	if r == nil {
 		return false
 	}
@@ -150,6 +175,7 @@ func (in *Injector) Inject(site core.FaultSite) bool {
 	} else {
 		r.fires.Add(1)
 	}
+	cfg.events.FaultInjected(string(site), v)
 	if r.stall > 0 {
 		time.Sleep(r.stall)
 	}

@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"stencilivc/internal/obsv"
+)
+
+// TestWithEvents: every fault firing emits one fault.injected record
+// carrying the site and the 1-based visit number; visits that do not
+// fire emit nothing.
+func TestWithEvents(t *testing.T) {
+	var buf bytes.Buffer
+	in := New(1).EveryNth(siteA, 2, 2).WithEvents(obsv.NewJSONEventSink(&buf))
+	for v := 1; v <= 8; v++ {
+		in.Inject(siteA)
+		in.Inject(siteB) // unconfigured site: never fires, never logs
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d event lines %q, want 2 (budget)", len(lines), buf.String())
+	}
+	wantVisits := []float64{2, 4}
+	for i, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("event line %q: %v", line, err)
+		}
+		if obj["msg"] != "fault.injected" || obj["site"] != string(siteA) || obj["visit"] != wantVisits[i] {
+			t.Errorf("event %d = %v, want fault.injected site %s visit %v",
+				i, obj, siteA, wantVisits[i])
+		}
+	}
+}
+
+// TestWithEventsSealed: attaching a sink after injection started would
+// race with lock-free Inject reads, so it panics like a post-seal rule
+// edit.
+func TestWithEventsSealed(t *testing.T) {
+	in := New(1).OnNth(siteA, 1)
+	in.Inject(siteA) // seals
+	defer func() {
+		if recover() == nil {
+			t.Error("WithEvents after first Inject did not panic")
+		}
+	}()
+	in.WithEvents(obsv.NewJSONEventSink(&bytes.Buffer{}))
+}
+
+// TestWithEventsNil: a nil sink is the disabled default; firing faults
+// with it attached must not panic.
+func TestWithEventsNil(t *testing.T) {
+	in := New(1).OnNth(siteA, 1).WithEvents(nil)
+	if !in.Inject(siteA) {
+		t.Error("rule did not fire with a nil event sink attached")
+	}
+}

@@ -48,6 +48,20 @@ type SolveOptions struct {
 	// lengths, maxcolor) with lock-free increments. A nil Metrics
 	// disables the counters at zero cost.
 	Metrics *obsv.SolveMetrics
+	// Events, when non-nil, receives the structured solve-event stream
+	// (solver start/finish, speculation, repair sweeps, fallbacks, fault
+	// injections, partial results) as slog records. A nil Events disables
+	// the stream at zero cost — every sink method is nil-receiver-safe
+	// and takes fixed scalar arguments, so a disabled call site is one
+	// pointer compare.
+	Events *obsv.EventSink
+	// Sampler, when non-nil, is started (reference-counted) for the
+	// duration of every registry-dispatched solve, bridging the Go
+	// runtime's own GC-pause and scheduler-latency histograms into the
+	// metrics registry while the solve runs. Overlapping solves (a
+	// portfolio's members) share one sampling goroutine. A nil Sampler —
+	// the default — costs one pointer compare per solve.
+	Sampler *obsv.Sampler
 	// Phase is the span under which nested phases should record; the
 	// registry dispatcher sets it (via WithPhase) to the solve span so
 	// solver-internal phases nest correctly. Solver code should not set
@@ -123,6 +137,25 @@ func (o *SolveOptions) Meters() *obsv.SolveMetrics {
 	return o.Metrics
 }
 
+// EventLog returns the solve-event sink, or nil when no receiver or no
+// sink is configured; all *obsv.EventSink methods are nil-receiver-safe.
+func (o *SolveOptions) EventLog() *obsv.EventSink {
+	if o == nil {
+		return nil
+	}
+	return o.Events
+}
+
+// RuntimeSampler returns the runtime sampler, or nil when no receiver
+// or no sampler is configured; all *obsv.Sampler methods are
+// nil-receiver-safe.
+func (o *SolveOptions) RuntimeSampler() *obsv.Sampler {
+	if o == nil {
+		return nil
+	}
+	return o.Sampler
+}
+
 // Faults returns the fault injector, or nil when no receiver or no
 // injector is configured. Hot loops should cache the result once per
 // solve rather than calling through the options on every iteration.
@@ -152,7 +185,8 @@ func (o *SolveOptions) Partial() bool {
 }
 
 // WithPhase returns a shallow copy of o whose nested phases record under
-// sp. The copy shares Ctx, Stats, Trace, and Metrics with o, so the
+// sp. The copy shares every sink (Ctx, Stats, Trace, Metrics, Events,
+// Sampler, Injector) with o, so the
 // dispatcher can scope a solve's span without disturbing concurrent
 // users of the original options. A nil o with a nil sp stays nil.
 func (o *SolveOptions) WithPhase(sp *obsv.Span) *SolveOptions {

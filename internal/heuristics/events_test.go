@@ -1,0 +1,147 @@
+package heuristics
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"stencilivc/internal/core"
+	"stencilivc/internal/grid"
+	"stencilivc/internal/obsv"
+)
+
+// eventMsgs decodes the msg field of every JSON event line in buf.
+func eventMsgs(t *testing.T, buf *bytes.Buffer) []string {
+	t.Helper()
+	var msgs []string
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("event line %q: %v", line, err)
+		}
+		msgs = append(msgs, obj["msg"].(string))
+	}
+	return msgs
+}
+
+// TestRunEmitsSolveEvents: a dispatched solve brackets itself with
+// solve.start / solve.finish carrying the algorithm and maxcolor.
+func TestRunEmitsSolveEvents(t *testing.T) {
+	g := grid.MustGrid2D(8, 8)
+	for v := range g.W {
+		g.W[v] = int64(v%5) + 1
+	}
+	var buf bytes.Buffer
+	ev := obsv.NewJSONEventSink(&buf)
+	c, err := Run(GLL, g, &core.SolveOptions{Events: ev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := eventMsgs(t, &buf)
+	if len(msgs) != 2 || msgs[0] != "solve.start" || msgs[1] != "solve.finish" {
+		t.Fatalf("events = %v, want [solve.start solve.finish]", msgs)
+	}
+	if ev.Emitted() != 2 {
+		t.Errorf("Emitted = %d, want 2", ev.Emitted())
+	}
+	var fin map[string]any
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if err := json.Unmarshal([]byte(lines[1]), &fin); err != nil {
+		t.Fatal(err)
+	}
+	if fin["alg"] != "GLL" || fin["maxcolor"] != float64(c.MaxColor(g)) {
+		t.Errorf("solve.finish attrs = %v (maxcolor %d)", fin, c.MaxColor(g))
+	}
+}
+
+// TestRunEmitsSolveError: a failing solve logs solve.error after
+// solve.start instead of solve.finish, and a dispatch that fails
+// validation (unknown algorithm) emits nothing at all.
+func TestRunEmitsSolveError(t *testing.T) {
+	registerChaosAlgs()
+	g := grid.MustGrid2D(8, 8)
+
+	var buf bytes.Buffer
+	if _, err := Run("no-such-alg", g,
+		&core.SolveOptions{Events: obsv.NewJSONEventSink(&buf)}); err == nil {
+		t.Fatal("unknown algorithm did not error")
+	}
+	if got := eventMsgs(t, &buf); len(got) != 0 {
+		t.Fatalf("unknown-algorithm dispatch emitted %v before validation", got)
+	}
+
+	buf.Reset()
+	_, err := Run(testCancelAlg, g, &core.SolveOptions{Events: obsv.NewJSONEventSink(&buf)})
+	if err == nil {
+		t.Fatal("canceling algorithm did not error")
+	}
+	msgs := eventMsgs(t, &buf)
+	if len(msgs) != 2 || msgs[0] != "solve.start" || msgs[1] != "solve.error" {
+		t.Fatalf("events = %v, want [solve.start solve.error]", msgs)
+	}
+}
+
+// TestRunEmitsSolveErrorOnPanic: a recovered solver crash still closes
+// the event bracket with solve.error, so log consumers never see a
+// dangling solve.start.
+func TestRunEmitsSolveErrorOnPanic(t *testing.T) {
+	registerChaosAlgs()
+	g := grid.MustGrid2D(8, 8)
+	var buf bytes.Buffer
+	_, err := Run(testPanicAlg, g, &core.SolveOptions{Events: obsv.NewJSONEventSink(&buf)})
+	var se *core.SolveError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v (%T), want *core.SolveError", err, err)
+	}
+	msgs := eventMsgs(t, &buf)
+	if len(msgs) != 2 || msgs[0] != "solve.start" || msgs[1] != "solve.error" {
+		t.Fatalf("events = %v, want [solve.start solve.error]", msgs)
+	}
+}
+
+// TestPortfolioPartialEvent: a partial portfolio return logs
+// solve.partial with the completed count and winner, and a panicked
+// member logs portfolio.drop.
+func TestPortfolioPartialEvent(t *testing.T) {
+	registerChaosAlgs()
+	g := grid.MustGrid2D(10, 10)
+	for v := range g.W {
+		g.W[v] = int64(v%7) + 1
+	}
+	var buf bytes.Buffer
+	ev := obsv.NewJSONEventSink(&buf)
+	_, winner, err := Portfolio(g, []Algorithm{GLL, testPanicAlg, testCancelAlg},
+		&core.SolveOptions{Events: ev, PartialOnCancel: true})
+	if !errors.Is(err, core.ErrPartial) {
+		t.Fatalf("err = %v, want core.ErrPartial (winner %q)", err, winner)
+	}
+	msgs := eventMsgs(t, &buf)
+	var sawDrop, sawPartial bool
+	for i, m := range msgs {
+		if m == "portfolio.drop" {
+			sawDrop = true
+		}
+		if m == "solve.partial" {
+			sawPartial = true
+			var obj map[string]any
+			lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+			if err := json.Unmarshal([]byte(lines[i]), &obj); err != nil {
+				t.Fatal(err)
+			}
+			if obj["winner"] != string(winner) || obj["completed"] != float64(1) {
+				t.Errorf("solve.partial attrs = %v, want winner %q completed 1", obj, winner)
+			}
+		}
+	}
+	if !sawDrop {
+		t.Errorf("events %v missing portfolio.drop for the panicked member", msgs)
+	}
+	if !sawPartial {
+		t.Errorf("events %v missing solve.partial", msgs)
+	}
+}

@@ -82,6 +82,7 @@ func Portfolio(s grid.Stencil, algs []Algorithm, opts *core.SolveOptions) (core.
 			var se *core.SolveError
 			switch {
 			case errors.As(r.err, &se) && se.Panicked:
+				opts.EventLog().Dropped(string(algs[i]), r.err)
 				if firstPanic == nil {
 					firstPanic = r.err
 				}
@@ -114,6 +115,7 @@ func Portfolio(s grid.Stencil, algs []Algorithm, opts *core.SolveOptions) (core.
 			if m := opts.Meters(); m != nil {
 				m.PartialResults.Add(1)
 			}
+			opts.EventLog().PartialResult(completed, len(algs), string(bestAlg))
 			return best, bestAlg, fmt.Errorf(
 				"%w (%d/%d algorithms completed, best %s)",
 				core.ErrPartial, completed, len(algs), bestAlg)

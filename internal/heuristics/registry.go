@@ -157,8 +157,12 @@ func All() []Algorithm {
 // configured observability sink records here — the algorithm's wall
 // time lands in the stats sink under "solve:<name>", a "solve:<name>"
 // span opens on the tracer (on its own lane, so concurrent portfolio
-// runs render as separate rows), and the metrics bundle receives the
-// solve count, wall time, allocations, and resulting maxcolor.
+// runs render as separate rows), the metrics bundle receives the
+// solve count, wall time, allocations, and resulting maxcolor, the
+// event sink logs solve.start and solve.finish/solve.error records, and
+// the runtime sampler — when configured — runs for the duration of the
+// solve so GC pauses and scheduler stalls during it land in the
+// registry.
 //
 // Run is also the pipeline's panic boundary: a panic anywhere inside
 // the algorithm (a solver bug, or a fault injector's induced crash that
@@ -178,6 +182,10 @@ func Run(alg Algorithm, s grid.Stencil, opts *core.SolveOptions) (core.Coloring,
 	if err := opts.Err(); err != nil {
 		return core.Coloring{}, err
 	}
+	if sampler := opts.RuntimeSampler(); sampler != nil {
+		sampler.Start()
+		defer sampler.Stop()
+	}
 	name := "solve:" + string(alg)
 	tr := opts.Tracer()
 	lane := 0
@@ -190,12 +198,15 @@ func Run(alg Algorithm, s grid.Stencil, opts *core.SolveOptions) (core.Coloring,
 	if m != nil {
 		mallocs0 = readMallocs()
 	}
+	ev := opts.EventLog()
+	ev.SolveStart(string(alg), s.Dims(), s.Len())
 	t0 := time.Now()
 	c, err := contained(d, s, opts.WithPhase(sp))
 	dt := time.Since(t0)
 	sp.End()
 	opts.Sink().AddPhase(name, dt)
 	if err != nil {
+		ev.SolveFinish(string(alg), 0, dt, err)
 		var se *core.SolveError
 		if errors.As(err, &se) {
 			// Already typed with the algorithm name; don't re-wrap.
@@ -203,11 +214,15 @@ func Run(alg Algorithm, s grid.Stencil, opts *core.SolveOptions) (core.Coloring,
 		}
 		return core.Coloring{}, fmt.Errorf("heuristics: %s: %w", alg, err)
 	}
-	if m != nil {
-		m.Solves.Add(1)
-		m.SolveSeconds.Observe(dt.Seconds())
-		m.Allocs.Add(int64(readMallocs() - mallocs0))
-		m.MaxColor.Set(c.MaxColor(s))
+	if m != nil || ev != nil {
+		mc := c.MaxColor(s)
+		ev.SolveFinish(string(alg), mc, dt, nil)
+		if m != nil {
+			m.Solves.Add(1)
+			m.SolveSeconds.Observe(dt.Seconds())
+			m.Allocs.Add(int64(readMallocs() - mallocs0))
+			m.MaxColor.Set(mc)
+		}
 	}
 	return c, nil
 }

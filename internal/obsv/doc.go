@@ -1,9 +1,10 @@
 // Package obsv is the observability layer of the solver pipeline: a
 // span-style tracer for hierarchical per-phase timings, a registry of
-// counters/gauges/histograms for solver work metrics, and exposition of
-// both in Prometheus text format and expvar JSON. It depends only on the
-// standard library and is imported by internal/core, so every solver can
-// be instrumented without new dependencies.
+// counters/gauges/histograms for solver work metrics, a structured
+// solve-event log, a Go-runtime sampler, and exposition of the metric
+// state in Prometheus text format and expvar JSON. It depends only on
+// the standard library and is imported by internal/core, so every
+// solver can be instrumented without new dependencies.
 //
 // The paper argues by per-phase runtime breakdowns (Section VII's Figure
 // 10 splits STKDE time into coloring, scheduling, and kernel work); this
@@ -29,10 +30,33 @@
 // occupancy-list lengths, solve seconds). SolveMetrics bundles the
 // solver taxonomy into one struct that core.SolveOptions carries.
 //
+// # Event log
+//
+// Where the tracer answers "where did the time go" and the metrics
+// answer "how much work happened", EventSink is the append-only record
+// of *what happened*: solver start/finish, tile-speculation rounds,
+// repair sweeps, degraded-mode fallbacks, fault injections, and
+// partial-result returns, emitted as log/slog records (one JSON object
+// per line with NewJSONEventSink). Events fire at phase and round
+// granularity — never per placement — so an enabled sink costs a
+// handful of records per solve, and the fixed-signature methods build
+// no argument slices when the sink is nil.
+//
+// # Runtime sampler
+//
+// Sampler bridges the runtime/metrics package into a Registry while a
+// solve runs: GC pause and scheduler-latency histograms (delta-folded
+// from the runtime's cumulative buckets), heap-live/heap-object bytes,
+// goroutine counts, and GC cycles, sampled on a fixed interval by one
+// background goroutine. Start/Stop are refcounted so overlapping
+// portfolio members share a session, and a SamplerSummary condenses the
+// session for the benchmark-trajectory reports (BENCH_*.json).
+//
 // # Zero cost when disabled
 //
-// Every method on *Trace, *Span, *Counter, *Gauge, *Histogram, and
-// *SolveMetrics accepts a nil receiver as a no-op, so instrumented code
+// Every method on *Trace, *Span, *Counter, *Gauge, *Histogram,
+// *SolveMetrics, *EventSink, and *Sampler accepts a nil receiver as a
+// no-op, so instrumented code
 // never branches on whether a sink is attached, and the disabled path
 // costs one nil check and allocates nothing — the placement kernel's
 // 0 allocs/op contract (BenchmarkPlaceLowest) holds with instrumentation

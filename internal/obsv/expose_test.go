@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
@@ -34,6 +35,10 @@ func fixtureRegistry() *Registry {
 		"Solver panics recovered into typed errors instead of crashing.").Add(2)
 	r.Counter("solver_partial_results_total",
 		"Portfolio solves returning a best-so-far valid coloring with ErrPartial.").Add(1)
+	// The runtime-sampler families, as an idle sampler registers them:
+	// zero-valued but present, so the golden file pins their names, help
+	// strings, and bucket layouts.
+	NewSampler(r, time.Millisecond)
 	return r
 }
 

@@ -130,6 +130,28 @@ func (h *Histogram) Observe(v float64) {
 // ObserveInt records one observation of integer value v.
 func (h *Histogram) ObserveInt(v int64) { h.Observe(float64(v)) }
 
+// ObserveN records n observations of value v in one update — the bulk
+// path the runtime sampler uses to fold a runtime/metrics bucket delta
+// into the histogram without n individual Observe calls.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(n)
+	add := v * float64(n)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + add)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Count returns the total number of observations; 0 on nil.
 func (h *Histogram) Count() int64 {
 	if h == nil {

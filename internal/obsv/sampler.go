@@ -1,0 +1,350 @@
+package obsv
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// DefaultSampleInterval is the sampling period a Sampler uses when
+// constructed with a non-positive interval: fine enough to catch heap
+// growth and goroutine spikes inside a sub-second solve, coarse enough
+// that the sampler goroutine is invisible in profiles. The cumulative
+// runtime histograms (GC pauses, scheduler latencies) lose nothing to
+// the interval — every pause between two ticks is folded in as a bucket
+// delta — only the point-in-time gauges are quantized by it.
+const DefaultSampleInterval = 10 * time.Millisecond
+
+// The runtime/metrics series the sampler bridges. Unsupported names
+// (an older runtime) degrade to zero-valued metrics instead of failing.
+const (
+	srcGCPauses   = "/gc/pauses:seconds"
+	srcSchedLat   = "/sched/latencies:seconds"
+	srcHeapLive   = "/gc/heap/live:bytes"
+	srcHeapObjs   = "/memory/classes/heap/objects:bytes"
+	srcGoroutines = "/sched/goroutines:goroutines"
+	srcGCCycles   = "/gc/cycles/total:gc-cycles"
+)
+
+// Sampler bridges Go's runtime/metrics package into a Registry: a
+// background goroutine reads the runtime's own GC-pause and
+// scheduler-latency histograms, heap gauges, and goroutine count at a
+// fixed interval and publishes them as registry metrics, so a solve
+// observed over /metrics shows allocator and scheduler behavior *during*
+// the solve — not just whatever state a scrape happens to land on.
+//
+// Start/Stop are reference-counted: overlapping solves (a portfolio's
+// concurrent members) share one sampling goroutine, which stops — after
+// a final sample, so nothing between the last tick and Stop is lost —
+// when the last Stop lands. A nil *Sampler is a valid disabled sampler:
+// every method is a no-op costing one nil check.
+type Sampler struct {
+	interval time.Duration
+
+	// Registry-published metrics (nil when built against a nil registry;
+	// the summary still accumulates).
+	gcPause    *Histogram
+	schedLat   *Histogram
+	heapLive   *Gauge
+	heapObjs   *Gauge
+	goroutines *Gauge
+	gcCycles   *Counter
+
+	mu      sync.Mutex
+	refs    int
+	stopc   chan struct{}
+	donec   chan struct{}
+	samples []metrics.Sample
+	// prev holds the last-seen cumulative bucket counts per histogram
+	// series, so each tick feeds only the delta into the registry.
+	prevPause, prevSched []uint64
+	prevCycles           uint64
+	sum                  SamplerSummary
+}
+
+// SamplerSummary condenses everything a sampler observed into the flat
+// record the benchmark-trajectory pipeline embeds in BENCH_*.json: how
+// much GC and scheduler interference a measurement ran under.
+type SamplerSummary struct {
+	// Samples is the number of completed sampling ticks (including the
+	// final on-Stop sample).
+	Samples int64 `json:"samples"`
+	// GCPauseCount is the number of stop-the-world GC pauses observed.
+	GCPauseCount int64 `json:"gc_pause_count"`
+	// GCPauseTotalSeconds is the summed duration of those pauses,
+	// bucket-quantized (each pause counts as its bucket's upper edge).
+	GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+	// GCPauseMaxSeconds is the upper edge of the highest non-empty
+	// pause bucket — the worst pause, to bucket resolution.
+	GCPauseMaxSeconds float64 `json:"gc_pause_max_seconds"`
+	// SchedLatencyCount is the number of goroutine scheduling waits
+	// observed.
+	SchedLatencyCount int64 `json:"sched_latency_count"`
+	// SchedLatencyMaxSeconds is the upper edge of the highest non-empty
+	// scheduling-latency bucket.
+	SchedLatencyMaxSeconds float64 `json:"sched_latency_max_seconds"`
+	// HeapLiveMaxBytes is the largest live-heap size seen at any tick.
+	HeapLiveMaxBytes int64 `json:"heap_live_max_bytes"`
+	// GoroutinesMax is the largest goroutine count seen at any tick.
+	GoroutinesMax int64 `json:"goroutines_max"`
+	// GCCycles is the number of GC cycles completed while sampling.
+	GCCycles int64 `json:"gc_cycles"`
+}
+
+// NewSampler returns a sampler publishing into r at the given interval
+// (non-positive picks DefaultSampleInterval). A nil registry is allowed:
+// the sampler then only accumulates its SamplerSummary — the
+// configuration the benchmark runner uses when no exposition endpoint
+// is up. The sampler is idle until Start.
+func NewSampler(r *Registry, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	s := &Sampler{
+		interval: interval,
+		gcPause: r.Histogram("go_gc_pause_seconds",
+			"Stop-the-world GC pause durations sampled from runtime/metrics while a sampler ran.",
+			ExponentialBuckets(1e-6, 4, 12)),
+		schedLat: r.Histogram("go_sched_latency_seconds",
+			"Goroutine scheduling latencies sampled from runtime/metrics while a sampler ran.",
+			ExponentialBuckets(1e-6, 4, 12)),
+		heapLive: r.Gauge("go_heap_live_bytes",
+			"Live heap bytes (reachable at the last GC mark) at the most recent sample."),
+		heapObjs: r.Gauge("go_heap_objects_bytes",
+			"Bytes occupied by live and dead heap objects at the most recent sample."),
+		goroutines: r.Gauge("go_sched_goroutines",
+			"Live goroutines at the most recent sample."),
+		gcCycles: r.Counter("go_gc_cycles_total",
+			"GC cycles completed while a sampler ran."),
+	}
+	s.samples = make([]metrics.Sample, 6)
+	for i, name := range []string{
+		srcGCPauses, srcSchedLat, srcHeapLive, srcHeapObjs, srcGoroutines, srcGCCycles,
+	} {
+		s.samples[i].Name = name
+	}
+	return s
+}
+
+// Interval reports the sampling period; 0 on a nil sampler.
+func (s *Sampler) Interval() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.interval
+}
+
+// Start begins (or joins) sampling. The first Start takes a baseline
+// reading and launches the sampling goroutine; later Starts before the
+// matching Stops just increment the reference count. Safe for concurrent
+// use; a nil sampler is a no-op.
+func (s *Sampler) Start() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refs++
+	if s.refs > 1 {
+		return
+	}
+	s.readLocked(true)
+	s.stopc = make(chan struct{})
+	s.donec = make(chan struct{})
+	go s.loop(s.stopc, s.donec)
+}
+
+// Stop leaves the sampling session. The last Stop (matching the first
+// Start) takes a final sample and waits for the goroutine to exit, so
+// by the time it returns every pause up to the Stop is in the registry.
+// Unmatched Stops are no-ops, as is a nil sampler.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.refs == 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.refs--
+	if s.refs > 0 {
+		s.mu.Unlock()
+		return
+	}
+	stopc, donec := s.stopc, s.donec
+	s.mu.Unlock()
+	close(stopc)
+	<-donec
+}
+
+// Summary returns a copy of everything observed so far (across all
+// Start/Stop sessions). A nil sampler returns the zero summary.
+func (s *Sampler) Summary() SamplerSummary {
+	if s == nil {
+		return SamplerSummary{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sum
+}
+
+// loop is the sampling goroutine: one reading per tick, plus a final
+// reading when the session stops.
+func (s *Sampler) loop(stopc, donec chan struct{}) {
+	defer close(donec)
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.sample()
+		case <-stopc:
+			s.sample()
+			return
+		}
+	}
+}
+
+// sample takes one reading under the sampler lock.
+func (s *Sampler) sample() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readLocked(false)
+}
+
+// readLocked reads the runtime series and — unless this is the baseline
+// reading of a fresh session — publishes the deltas into the registry
+// and folds them into the summary. Called with mu held.
+func (s *Sampler) readLocked(baseline bool) {
+	metrics.Read(s.samples)
+	var pause, sched *metrics.Float64Histogram
+	var heapLive, heapObjs, goroutines, cycles uint64
+	for i := range s.samples {
+		sm := &s.samples[i]
+		switch sm.Name {
+		case srcGCPauses:
+			if sm.Value.Kind() == metrics.KindFloat64Histogram {
+				pause = sm.Value.Float64Histogram()
+			}
+		case srcSchedLat:
+			if sm.Value.Kind() == metrics.KindFloat64Histogram {
+				sched = sm.Value.Float64Histogram()
+			}
+		case srcHeapLive:
+			if sm.Value.Kind() == metrics.KindUint64 {
+				heapLive = sm.Value.Uint64()
+			}
+		case srcHeapObjs:
+			if sm.Value.Kind() == metrics.KindUint64 {
+				heapObjs = sm.Value.Uint64()
+			}
+		case srcGoroutines:
+			if sm.Value.Kind() == metrics.KindUint64 {
+				goroutines = sm.Value.Uint64()
+			}
+		case srcGCCycles:
+			if sm.Value.Kind() == metrics.KindUint64 {
+				cycles = sm.Value.Uint64()
+			}
+		}
+	}
+	if baseline {
+		// Session start: snapshot the cumulative counters so history from
+		// before the session — process startup, the gap since the last
+		// session — is never charged to this one.
+		s.prevPause = snapshotCounts(s.prevPause, pause)
+		s.prevSched = snapshotCounts(s.prevSched, sched)
+		s.prevCycles = cycles
+		return
+	}
+
+	s.sum.Samples++
+	count, total, max := s.foldHistogram(s.gcPause, pause, &s.prevPause)
+	s.sum.GCPauseCount += count
+	s.sum.GCPauseTotalSeconds += total
+	if max > s.sum.GCPauseMaxSeconds {
+		s.sum.GCPauseMaxSeconds = max
+	}
+	count, _, max = s.foldHistogram(s.schedLat, sched, &s.prevSched)
+	s.sum.SchedLatencyCount += count
+	if max > s.sum.SchedLatencyMaxSeconds {
+		s.sum.SchedLatencyMaxSeconds = max
+	}
+	s.heapLive.Set(int64(heapLive))
+	s.heapObjs.Set(int64(heapObjs))
+	s.goroutines.Set(int64(goroutines))
+	if int64(heapLive) > s.sum.HeapLiveMaxBytes {
+		s.sum.HeapLiveMaxBytes = int64(heapLive)
+	}
+	if int64(goroutines) > s.sum.GoroutinesMax {
+		s.sum.GoroutinesMax = int64(goroutines)
+	}
+	if cycles >= s.prevCycles {
+		d := int64(cycles - s.prevCycles)
+		s.gcCycles.Add(d)
+		s.sum.GCCycles += d
+	}
+	s.prevCycles = cycles
+}
+
+// foldHistogram feeds the delta between h's cumulative counts and *prev
+// into dst, one ObserveN per non-empty bucket at the bucket's upper
+// edge, then advances *prev. It returns the delta's observation count,
+// value total, and max (all bucket-quantized).
+func (s *Sampler) foldHistogram(dst *Histogram, h *metrics.Float64Histogram, prev *[]uint64) (count int64, total, max float64) {
+	if h == nil {
+		return 0, 0, 0
+	}
+	if len(*prev) != len(h.Counts) {
+		// Bucket layout changed (or first sight of the series): resync
+		// without publishing, so counts are never double- or mis-charged.
+		*prev = snapshotCounts(*prev, h)
+		return 0, 0, 0
+	}
+	for i, c := range h.Counts {
+		d := int64(c - (*prev)[i])
+		(*prev)[i] = c
+		if d <= 0 {
+			continue
+		}
+		v := bucketEdge(h.Buckets, i)
+		dst.ObserveN(v, d)
+		count += d
+		total += v * float64(d)
+		if v > max {
+			max = v
+		}
+	}
+	return count, total, max
+}
+
+// bucketEdge picks the representative value of runtime histogram bucket
+// i: its finite upper edge, falling back to the lower edge for the +Inf
+// tail bucket.
+func bucketEdge(buckets []float64, i int) float64 {
+	hi := buckets[i+1]
+	if !math.IsInf(hi, 0) {
+		return hi
+	}
+	lo := buckets[i]
+	if math.IsInf(lo, 0) {
+		return 0
+	}
+	return lo
+}
+
+// snapshotCounts copies h's cumulative bucket counts into dst (reusing
+// its backing array when the lengths match). A nil h clears dst.
+func snapshotCounts(dst []uint64, h *metrics.Float64Histogram) []uint64 {
+	if h == nil {
+		return dst[:0]
+	}
+	if cap(dst) < len(h.Counts) {
+		dst = make([]uint64, len(h.Counts))
+	}
+	dst = dst[:len(h.Counts)]
+	copy(dst, h.Counts)
+	return dst
+}

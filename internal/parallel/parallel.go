@@ -126,6 +126,7 @@ func Greedy(s grid.Stencil, cfg Config, opts *core.SolveOptions) (core.Coloring,
 	if m := opts.Meters(); m != nil {
 		m.Fallbacks.Add(1)
 	}
+	opts.EventLog().Fallback("pgreedy", "worker panic: "+se.Error())
 	defer core.StartPhase(opts, "pgreedy/seq-fallback")()
 	return core.GreedyColorOpts(s, fallbackOrder(s, cfg), opts)
 }
@@ -163,10 +164,12 @@ func speculative(fg core.FixedGraph, s grid.Stencil, cfg Config, opts *core.Solv
 	r := &run{
 		g: fg, s: s, tl: tl, cfg: cfg, opts: opts,
 		inj: opts.Faults(),
+		ev:  opts.EventLog(),
 		c:   core.NewColoring(s.Len()),
 		par: min(opts.Par(), len(tl.Tiles)),
 	}
 
+	r.ev.Speculation(len(tl.Tiles), r.par, cfg.SpeculateBlind)
 	if err := r.phase("pgreedy/speculate", r.speculate); err != nil {
 		return core.Coloring{}, err
 	}
@@ -197,6 +200,9 @@ type run struct {
 	// inj caches opts.Faults() so the per-placement injection checks are
 	// a single pointer compare on the production (nil) path.
 	inj core.Injector
+	// ev caches opts.EventLog(); events fire at phase/round granularity,
+	// never per placement.
+	ev  *obsv.EventSink
 	c   core.Coloring
 	par int
 	// seqRepair records that the guaranteed sequential repair pass
@@ -543,11 +549,13 @@ func (r *run) fixpoint(sp *obsv.Span, maxRounds int) error {
 		}
 		sequential := round >= maxRounds || (prev >= 0 && nconf >= prev)
 		prev = nconf
+		r.ev.RepairSweep(round, int64(nconf), sequential)
 		if sequential && !r.seqRepair {
 			r.seqRepair = true
 			if meters != nil {
 				meters.Fallbacks.Add(1)
 			}
+			r.ev.Fallback("pgreedy", "repair rounds stopped shrinking; sequential repair pass")
 		}
 		// Clear every loser before any recoloring starts, so a round's
 		// placements see losers as uncolored rather than as their stale
@@ -639,12 +647,15 @@ func (r *run) complete() error {
 	r.flush(w)
 	if m := r.opts.Meters(); m != nil {
 		m.Repairs.Add(n)
-		if !r.seqRepair {
-			// The sweep acted as the guaranteed path for this solve;
-			// count the fallback engagement once.
-			r.seqRepair = true
+	}
+	if !r.seqRepair {
+		// The sweep acted as the guaranteed path for this solve; count
+		// the fallback engagement once.
+		r.seqRepair = true
+		if m := r.opts.Meters(); m != nil {
 			m.Fallbacks.Add(1)
 		}
+		r.ev.Fallback("pgreedy", "completion sweep re-placed dropped vertices")
 	}
 	return nil
 }

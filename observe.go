@@ -1,7 +1,10 @@
 package stencilivc
 
 import (
+	"io"
+	"log/slog"
 	"net/http"
+	"time"
 
 	"stencilivc/internal/obsv"
 )
@@ -23,6 +26,21 @@ type (
 	// SolveMetrics bundles the solver metric taxonomy (vertices colored,
 	// probes, conflicts, repair rounds, occupancy lengths, maxcolor).
 	SolveMetrics = obsv.SolveMetrics
+	// EventSink is the structured solve-event log: solver start/finish,
+	// speculation, repair sweeps, fallbacks, fault injections, and
+	// partial-result returns as slog records. Attach one to
+	// SolveOptions.Events; nil costs nothing.
+	EventSink = obsv.EventSink
+	// RuntimeSampler bridges the Go runtime's own metrics (GC pause and
+	// scheduler-latency histograms, heap and goroutine gauges) into a
+	// MetricsRegistry while a solve runs. Attach one to
+	// SolveOptions.Sampler; nil costs nothing.
+	RuntimeSampler = obsv.Sampler
+	// RuntimeSummary condenses what a RuntimeSampler observed — GC pause
+	// totals, scheduler-latency maxima, heap and goroutine peaks — into
+	// the flat record the benchmark-trajectory pipeline embeds in
+	// BENCH_*.json.
+	RuntimeSummary = obsv.SamplerSummary
 )
 
 // NewTrace returns an empty trace whose clock starts now; put it in
@@ -35,6 +53,26 @@ func NewMetricsRegistry() *MetricsRegistry { return obsv.NewRegistry() }
 // NewSolveMetrics registers the solver metric taxonomy in r and returns
 // the bundle; put it in SolveOptions.Metrics to count solver work.
 func NewSolveMetrics(r *MetricsRegistry) *SolveMetrics { return obsv.NewSolveMetrics(r) }
+
+// NewJSONEventSink returns a solve-event sink writing one JSON event
+// object per line to w (the wire format of ivc -log); put it in
+// SolveOptions.Events to record the solve's event stream. A nil writer
+// yields a nil (disabled) sink.
+func NewJSONEventSink(w io.Writer) *EventSink { return obsv.NewJSONEventSink(w) }
+
+// NewEventSink wraps an arbitrary slog.Handler as a solve-event sink,
+// for callers that already route structured logs somewhere. A nil
+// handler yields a nil (disabled) sink.
+func NewEventSink(h slog.Handler) *EventSink { return obsv.NewEventSink(h) }
+
+// NewRuntimeSampler returns a runtime sampler publishing into r every
+// interval (non-positive picks obsv.DefaultSampleInterval, 10ms); put
+// it in SolveOptions.Sampler to sample GC pauses, scheduler latencies,
+// and heap state for the duration of every solve. A nil registry is
+// allowed — the sampler then only accumulates its RuntimeSummary.
+func NewRuntimeSampler(r *MetricsRegistry, interval time.Duration) *RuntimeSampler {
+	return obsv.NewSampler(r, interval)
+}
 
 // MetricsHandler returns an http.Handler serving r in Prometheus text
 // format (plus scrape-time Go runtime gauges), ready to mount at
