@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check doclint linkcheck fuzz-short bench benchdiff-smoke microbench experiments experiments-full stkde cover clean
+.PHONY: all build vet test race check doclint linkcheck fuzz-short bench benchdiff-smoke serve-smoke microbench experiments experiments-full stkde cover clean
 
 all: build check
 
@@ -44,9 +44,18 @@ fuzz-short:
 # detector (so the portfolio's concurrency paths are race-checked on
 # every build; the slog nil-sink and injector nil-path AllocsPerRun pins
 # run here too), a short fuzz pass over every fuzz target, the
-# documentation lints, and the benchdiff self-diff smoke. It is part of
-# the default `make` flow via `all`.
-check: vet race fuzz-short doclint linkcheck benchdiff-smoke
+# documentation lints, the benchdiff self-diff smoke, and the solve-
+# daemon boot smoke. It is part of the default `make` flow via `all`.
+check: vet race fuzz-short doclint linkcheck benchdiff-smoke serve-smoke
+
+# serve-smoke boots `ivc -serve` on an ephemeral port, POSTs one 9-pt
+# and one 27-pt job through the HTTP job API, checks /healthz and the
+# service_* families on /metrics, and verifies a clean SIGINT shutdown;
+# see cmd/servesmoke.
+serve-smoke:
+	$(GO) build -o .smoke-ivc ./cmd/ivc
+	$(GO) run ./cmd/servesmoke -bin ./.smoke-ivc
+	rm -f .smoke-ivc
 
 # bench runs the committed performance suite (placement kernel, figure
 # runtimes, sequential-vs-parallel scaling) and writes machine-readable
@@ -87,4 +96,4 @@ cover:
 	$(GO) test -cover ./...
 
 clean:
-	rm -rf results
+	rm -rf results .smoke-ivc

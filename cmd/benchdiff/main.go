@@ -9,6 +9,7 @@
 //
 //	benchdiff OLD NEW                     compare two snapshots
 //	benchdiff -threshold 0.15 OLD NEW     tolerate ±15% ns/op noise
+//	benchdiff -threshold 15% OLD NEW      the same, in percent form
 //	go test -bench=. ./... > new.txt
 //	benchdiff BENCH_PR2.json new.txt      JSON and bench text mix freely
 //
@@ -39,13 +40,28 @@ import (
 )
 
 func main() {
-	threshold := flag.Float64("threshold", 0.10,
-		"relative noise threshold: ns/op (and nonzero allocs/op) may grow this fraction before gating")
+	thresholdArg := flag.String("threshold", "0.10",
+		"relative noise threshold, a fraction (\"0.15\") or percentage (\"15%\"): ns/op (and nonzero allocs/op) may grow this much before gating")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold f] OLD NEW")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold f|p%] OLD NEW")
 		flag.PrintDefaults()
+		fmt.Fprintln(os.Stderr, `
+noise policy:
+  The threshold absorbs run-to-run timer noise, not real regressions:
+  pick it from the benchmark's observed variance (rerun the old
+  snapshot and look at the spread), never from how much slack a change
+  needs to pass. ns/op may grow up to the threshold before gating.
+  allocs/op is treated as exact where it can be: any increase from 0
+  gates regardless of the threshold (0 allocs/op pins are contracts),
+  a nonzero count gets the relative threshold. Improvements never
+  gate. Benchmarks present in only one snapshot never gate.`)
 	}
 	flag.Parse()
+	threshold, err := parseThreshold(*thresholdArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)
@@ -60,13 +76,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	d := diff(oldSnap, newSnap, *threshold)
+	d := diff(oldSnap, newSnap, threshold)
 	fmt.Print(render(d, oldSnap, newSnap))
 	if len(d.Regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n",
-			len(d.Regressions), *threshold*100)
+			len(d.Regressions), threshold*100)
 		os.Exit(1)
 	}
+}
+
+// parseThreshold reads the -threshold argument: a bare fraction
+// ("0.15") or a percentage with a % suffix ("15%"); both mean the same
+// ±15% gate.
+func parseThreshold(s string) (float64, error) {
+	arg := strings.TrimSpace(s)
+	scale := 1.0
+	if cut, ok := strings.CutSuffix(arg, "%"); ok {
+		arg, scale = strings.TrimSpace(cut), 0.01
+	}
+	v, err := strconv.ParseFloat(arg, 64)
+	if err != nil {
+		return 0, fmt.Errorf("threshold %q: want a fraction like 0.15 or a percentage like 15%%", s)
+	}
+	v *= scale
+	if v < 0 || v != v {
+		return 0, fmt.Errorf("threshold %q: must be non-negative", s)
+	}
+	return v, nil
 }
 
 // Bench is one benchmark measurement, the unit both input formats

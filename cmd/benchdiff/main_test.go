@@ -166,3 +166,35 @@ func TestSnapshotAddDuplicates(t *testing.T) {
 		t.Errorf("duplicate add kept ns/op %g, want the later 90", s.Benches["X"].NsPerOp)
 	}
 }
+
+// TestParseThreshold: the -threshold flag accepts fraction and
+// percentage forms and rejects garbage and negatives.
+func TestParseThreshold(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"0.10", 0.10, true},
+		{"0.15", 0.15, true},
+		{"15%", 0.15, true},
+		{"10 %", 0.10, true},
+		{" 7.5% ", 0.075, true},
+		{"0", 0, true},
+		{"0%", 0, true},
+		{"-0.1", 0, false},
+		{"-5%", 0, false},
+		{"ten", 0, false},
+		{"%", 0, false},
+		{"", 0, false},
+	} {
+		got, err := parseThreshold(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseThreshold(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("parseThreshold(%q) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}

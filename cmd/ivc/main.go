@@ -15,6 +15,7 @@
 //	ivc -alg PGLL -par 8 -in g.ivc -trace out.json   phase spans for chrome://tracing
 //	ivc -alg BDP -in g.ivc -http :6060 -linger 30s   serve /metrics, /debug/vars, /debug/pprof
 //	ivc -alg best -in g.ivc -log events.jsonl        structured solve-event log (JSON lines)
+//	ivc -serve :8080 -par 4                          solve daemon: POST /solve job API
 //
 // Instances use the text format of internal/grid: a header line
 // "ivc2d X Y" or "ivc3d X Y Z" followed by the cell weights.
@@ -26,19 +27,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
-	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"syscall"
 	"time"
 
 	"stencilivc"
 	"stencilivc/internal/bounds"
 	"stencilivc/internal/render"
+	"stencilivc/internal/service"
 )
 
 func main() {
@@ -63,20 +62,21 @@ func run() (err error) {
 	tracePath := flag.String("trace", "", "write phase spans to this file in Chrome trace format")
 	logPath := flag.String("log", "", "write the structured solve-event log (JSON lines) to this file ('-' for stderr)")
 	httpAddr := flag.String("http", "", "serve /metrics (Prometheus), /debug/vars (expvar), and /debug/pprof on this address")
+	serveAddr := flag.String("serve", "", "run as a solve daemon: job API (POST /solve, GET /jobs/{id}, GET /healthz) plus /metrics and /debug/ on this address")
 	linger := flag.Duration("linger", 0, "with -http, keep serving this long after the solve finishes")
 	partial := flag.Bool("partial", false, "with -alg best and -timeout (or ^C), report the best completed algorithm instead of aborting")
 	flag.Parse()
 
-	// SIGINT/SIGTERM cancel the solve through the context (the solvers
-	// poll it) instead of killing the process mid-write. Unregistering
-	// the handler the moment the context cancels — rather than in the
-	// deferred stopSignals at exit — restores Go's default handling, so
-	// a second signal terminates immediately even if an exit path stalls
-	// (a drain that hangs, a solver ignoring ctx).
-	ctx, stopSignals := signal.NotifyContext(context.Background(),
-		os.Interrupt, syscall.SIGTERM)
+	// SIGINT/SIGTERM cancel the solve (or stop the daemon) through the
+	// context instead of killing the process mid-write; a second signal
+	// terminates immediately (service.NotifySignals unregisters the
+	// handler the moment the context cancels).
+	ctx, stopSignals := service.NotifySignals(context.Background())
 	defer stopSignals()
-	context.AfterFunc(ctx, stopSignals)
+
+	if *serveAddr != "" {
+		return runServe(ctx, *serveAddr, *logPath, *par, *timeout)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -199,10 +199,6 @@ func run() (err error) {
 	return finish(s, last, lb, *print, *exactBudget, *workers, *gantt, g2, g3)
 }
 
-// shutdownGrace bounds how long the -http server drains in-flight
-// /metrics scrapes after the linger window closes or a signal arrives.
-const shutdownGrace = 5 * time.Second
-
 // setupObs attaches the requested observability sinks to opts: a trace
 // when -trace was given, a structured solve-event log when -log was
 // given, and a metrics registry — fed by both the solvers and a runtime
@@ -240,22 +236,12 @@ func setupObs(ctx context.Context, tracePath, httpAddr, logPath string, linger t
 		opts.Sampler = stencilivc.NewRuntimeSampler(reg, 0)
 		reg.Publish("ivc")
 		http.Handle("/metrics", stencilivc.MetricsHandler(reg))
-		ln, err := net.Listen("tcp", httpAddr)
+		ln, err := service.Listen(httpAddr)
 		if err != nil {
 			return nil, err
 		}
 		fmt.Printf("serving /metrics, /debug/vars, /debug/pprof on http://%s\n", ln.Addr())
-		// Slowloris-hardened: a scraper that stalls mid-headers or
-		// mid-read cannot pin a connection open forever. WriteTimeout is
-		// generous because /debug/pprof/profile streams for up to 30s by
-		// default.
-		srv = &http.Server{
-			Handler:           http.DefaultServeMux,
-			ReadHeaderTimeout: 5 * time.Second,
-			ReadTimeout:       10 * time.Second,
-			WriteTimeout:      60 * time.Second,
-			IdleTimeout:       2 * time.Minute,
-		}
+		srv = service.NewHTTPServer(http.DefaultServeMux)
 		go srv.Serve(ln)
 	}
 	return func() error {
@@ -289,9 +275,7 @@ func setupObs(ctx context.Context, tracePath, httpAddr, logPath string, linger t
 			case <-ctx.Done():
 			}
 		}
-		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
-		defer cancel()
-		if err := srv.Shutdown(sctx); err != nil {
+		if err := service.ShutdownHTTP(srv); err != nil {
 			return fmt.Errorf("http shutdown: %w", err)
 		}
 		return nil

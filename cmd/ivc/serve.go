@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"stencilivc/internal/obsv"
+	"stencilivc/internal/service"
+)
+
+// runServe runs ivc as a long-lived solve daemon: the internal/service
+// job API (POST /solve, GET /jobs/{id}, GET /healthz, GET /metrics)
+// with expvar and pprof riding at /debug/. It serves until SIGINT or
+// SIGTERM cancels ctx, then drains: in-flight requests finish within
+// service.ShutdownGrace, queued jobs run to completion under their
+// deadlines, and a second ^C terminates immediately (the signal
+// handler unregisters on the first).
+func runServe(ctx context.Context, addr, logPath string, workers int,
+	defaultTimeout time.Duration) error {
+
+	reg := obsv.NewRegistry()
+	reg.Publish("ivc")
+	var events *obsv.EventSink
+	var logFile *os.File
+	if logPath == "-" {
+		events = obsv.NewJSONEventSink(os.Stderr)
+	} else if logPath != "" {
+		f, err := os.Create(logPath)
+		if err != nil {
+			return err
+		}
+		logFile = f
+		events = obsv.NewJSONEventSink(f)
+	}
+
+	srv := service.New(service.Config{
+		Workers:        workers,
+		DefaultTimeout: defaultTimeout,
+		Registry:       reg,
+		Events:         events,
+		Sampler:        obsv.NewSampler(reg, 0),
+	})
+	top := http.NewServeMux()
+	top.Handle("/debug/", http.DefaultServeMux) // expvar + pprof
+	top.Handle("/", srv.Handler())
+
+	ln, err := service.Listen(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving solve API on http://%s\n", ln.Addr())
+	httpSrv := service.NewHTTPServer(top)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+	fmt.Println("shutting down: draining in-flight requests and queued jobs")
+	if err := service.ShutdownHTTP(httpSrv); err != nil {
+		fmt.Fprintln(os.Stderr, "ivc: http shutdown:", err)
+	}
+	cctx, cancel := context.WithTimeout(context.Background(), service.ShutdownGrace)
+	defer cancel()
+	if err := srv.Close(cctx); err != nil {
+		fmt.Fprintln(os.Stderr, "ivc:", err)
+	}
+	if logFile != nil {
+		if err := logFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("events: %d -> %s\n", events.Emitted(), logPath)
+	}
+	return nil
+}

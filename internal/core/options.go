@@ -74,6 +74,20 @@ type SolveOptions struct {
 	// site at zero cost. See internal/chaos for the deterministic,
 	// seeded implementation.
 	Injector Injector
+	// Tenant names the principal this solve is running on behalf of. The
+	// solvers never read it; the service layer's multi-tenant scheduler
+	// sets it so fairness accounting, shed decisions, and service.* events
+	// attribute work to the right tenant, and it rides along in the
+	// options so any layer below the scheduler can tag diagnostics.
+	// Empty means the anonymous default tenant.
+	Tenant string
+	// Deadline, when nonzero, is the absolute wall-clock bound of this
+	// solve. The registry dispatcher layers it onto Ctx (via
+	// WithDeadlineContext) before running the algorithm, so a caller —
+	// the service scheduler handing per-request deadlines down, or a CLI
+	// — can bound a solve without building the derived context itself.
+	// It composes with Ctx: whichever expires first cancels the solve.
+	Deadline time.Time
 	// PartialOnCancel makes Portfolio/Best return the best coloring of
 	// the algorithms that completed before cancellation, tagged with the
 	// ErrPartial sentinel, instead of discarding completed work when the
@@ -182,6 +196,40 @@ func (o *SolveOptions) Fault(site FaultSite) bool {
 // cancellation (PartialOnCancel); nil receivers report false.
 func (o *SolveOptions) Partial() bool {
 	return o != nil && o.PartialOnCancel
+}
+
+// TenantID returns the effective tenant: o.Tenant, or "default" when no
+// receiver or no tenant is set, so accounting maps never key on "".
+func (o *SolveOptions) TenantID() string {
+	if o == nil || o.Tenant == "" {
+		return "default"
+	}
+	return o.Tenant
+}
+
+// noopCancel is the shared do-nothing CancelFunc WithDeadlineContext
+// returns when no deadline is configured, so the no-deadline path
+// allocates nothing.
+func noopCancel() {}
+
+// WithDeadlineContext returns options whose context is additionally
+// bounded by o.Deadline, plus the cancel releasing the derived context's
+// timer. With no deadline set (or a nil receiver) it returns o unchanged
+// and a no-op cancel, so callers always release unconditionally:
+//
+//	opts, stop := opts.WithDeadlineContext()
+//	defer stop()
+//
+// The deadline composes with an already-bounded Ctx: context.WithDeadline
+// keeps the earlier of the two expiries.
+func (o *SolveOptions) WithDeadlineContext() (*SolveOptions, context.CancelFunc) {
+	if o == nil || o.Deadline.IsZero() {
+		return o, noopCancel
+	}
+	ctx, cancel := context.WithDeadline(o.Context(), o.Deadline)
+	c := *o
+	c.Ctx = ctx
+	return &c, cancel
 }
 
 // WithPhase returns a shallow copy of o whose nested phases record under

@@ -1,8 +1,11 @@
 package heuristics
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"stencilivc/internal/bounds"
 	"stencilivc/internal/core"
@@ -275,5 +278,30 @@ func TestRunAlgorithmsOnSingleVertex(t *testing.T) {
 		if c.MaxColor(g3) != 3 {
 			t.Fatalf("%s on single 3D vertex = %d", alg, c.MaxColor(g3))
 		}
+	}
+}
+
+// TestRunHonorsDeadline: SolveOptions.Deadline bounds the solve without
+// the caller deriving a context — an already-expired deadline aborts
+// before the algorithm runs, and a generous one changes nothing.
+func TestRunHonorsDeadline(t *testing.T) {
+	g := random2D(rand.New(rand.NewSource(11)), 32, 32, 9)
+
+	opts := &core.SolveOptions{Deadline: time.Now().Add(-time.Millisecond)}
+	if _, err := Run(GLL, g, opts); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v, want DeadlineExceeded", err)
+	}
+
+	opts = &core.SolveOptions{Deadline: time.Now().Add(time.Hour), Tenant: "t"}
+	c, err := Run(GLL, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(GLL, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxColor(g) != want.MaxColor(g) {
+		t.Fatalf("deadline-bounded solve diverged: %d vs %d", c.MaxColor(g), want.MaxColor(g))
 	}
 }

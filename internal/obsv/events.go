@@ -167,6 +167,59 @@ func (e *EventSink) Dropped(alg string, err error) {
 		slog.String("error", err.Error()))
 }
 
+// ServiceAdmit records the admission of one solve job into the service
+// queue: the tenant, the job id, and the queue depth after admission.
+func (e *EventSink) ServiceAdmit(tenant, id string, queued int64) {
+	if e == nil {
+		return
+	}
+	e.log("service.admit",
+		slog.String("tenant", tenant),
+		slog.String("id", id),
+		slog.Int64("queued", queued))
+}
+
+// ServiceShed records a solve job refused or dropped by the service's
+// overload policy — queue bound hit, deadline expired while queued, or
+// an injected enqueue-drop fault — with the reason it was shed.
+func (e *EventSink) ServiceShed(tenant, id, reason string) {
+	if e == nil {
+		return
+	}
+	e.log("service.shed",
+		slog.String("tenant", tenant),
+		slog.String("id", id),
+		slog.String("reason", reason))
+}
+
+// ServiceBatch records one batch flush from the coalescing batcher to
+// the scheduler: the batch key, its size, and how long the oldest job
+// in it waited between enqueue and flush.
+func (e *EventSink) ServiceBatch(key string, size int, wait time.Duration) {
+	if e == nil {
+		return
+	}
+	e.log("service.batch",
+		slog.String("key", key),
+		slog.Int("size", size),
+		slog.Duration("wait", wait))
+}
+
+// ServiceDone records the completion of one solve job: maxcolor and the
+// end-to-end wall time from admission, plus whether the result was a
+// best-so-far partial under the shedding policy.
+func (e *EventSink) ServiceDone(tenant, id string, maxColor int64, wall time.Duration, partial bool) {
+	if e == nil {
+		return
+	}
+	e.log("service.done",
+		slog.String("tenant", tenant),
+		slog.String("id", id),
+		slog.Int64("maxcolor", maxColor),
+		slog.Duration("wall", wall),
+		slog.Bool("partial", partial))
+}
+
 // Event records an ad-hoc event for call sites outside the fixed solver
 // taxonomy (CLIs, experiments). Unlike the fixed methods it takes
 // variadic attrs, so guard hot paths with a nil check before building

@@ -45,12 +45,17 @@ func TestEventSinkJSON(t *testing.T) {
 	e.FaultInjected("pgreedy/halo-read", 7)
 	e.PartialResult(3, 7, "GLL")
 	e.Dropped("SGK", errors.New("panicked"))
+	e.ServiceAdmit("team-a", "job-1", 3)
+	e.ServiceShed("team-b", "job-2", "queue full")
+	e.ServiceBatch("team-a|GLL|2", 4, 2*time.Millisecond)
+	e.ServiceDone("team-a", "job-1", 17, 5*time.Millisecond, true)
 	e.Event("custom", slog.Int("k", 1))
 
 	msgs, objs := decodeEvents(t, &buf)
 	want := []string{"solve.start", "solve.finish", "solve.error", "pgreedy.speculate",
 		"pgreedy.repair", "solve.fallback", "fault.injected", "solve.partial",
-		"portfolio.drop", "custom"}
+		"portfolio.drop", "service.admit", "service.shed", "service.batch",
+		"service.done", "custom"}
 	if len(msgs) != len(want) {
 		t.Fatalf("got %d events %v, want %d", len(msgs), msgs, len(want))
 	}
@@ -73,6 +78,18 @@ func TestEventSinkJSON(t *testing.T) {
 	}
 	if objs[6]["site"] != "pgreedy/halo-read" || objs[6]["visit"] != float64(7) {
 		t.Errorf("fault.injected attrs = %v", objs[6])
+	}
+	if objs[9]["tenant"] != "team-a" || objs[9]["queued"] != float64(3) {
+		t.Errorf("service.admit attrs = %v", objs[9])
+	}
+	if objs[10]["reason"] != "queue full" {
+		t.Errorf("service.shed attrs = %v", objs[10])
+	}
+	if objs[11]["key"] != "team-a|GLL|2" || objs[11]["size"] != float64(4) {
+		t.Errorf("service.batch attrs = %v", objs[11])
+	}
+	if objs[12]["partial"] != true || objs[12]["maxcolor"] != float64(17) {
+		t.Errorf("service.done attrs = %v", objs[12])
 	}
 }
 
@@ -104,6 +121,10 @@ func TestEventSinkNilAllocs(t *testing.T) {
 		e.FaultInjected("site", 1)
 		e.PartialResult(1, 2, "GLL")
 		e.Dropped("BD", err)
+		e.ServiceAdmit("t", "j", 1)
+		e.ServiceShed("t", "j", "r")
+		e.ServiceBatch("k", 1, time.Millisecond)
+		e.ServiceDone("t", "j", 1, time.Millisecond, false)
 		if e.Emitted() != 0 {
 			t.Fatal("nil sink emitted")
 		}

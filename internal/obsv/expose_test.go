@@ -39,6 +39,10 @@ func fixtureRegistry() *Registry {
 	// zero-valued but present, so the golden file pins their names, help
 	// strings, and bucket layouts.
 	NewSampler(r, time.Millisecond)
+	// The solve-service families, likewise zero-valued: the golden file
+	// pins the queue-depth gauge, batch-size and wait histograms, and the
+	// tenant admit/shed counters the daemon exposes.
+	NewServiceMetrics(r)
 	return r
 }
 

@@ -13,15 +13,29 @@ import (
 // returns chronological order with parents before children, and Top
 // ranks by wall time.
 func TestSpanNestingAndOrdering(t *testing.T) {
-	tr := NewTrace()
-	root := tr.Start("solve")
-	a := root.Child("phaseA")
-	time.Sleep(2 * time.Millisecond)
-	a.End()
-	b := root.Child("phaseB")
-	time.Sleep(time.Millisecond)
-	b.End()
-	root.End()
+	// Timer slack can inflate the shorter sleep past the longer one on a
+	// loaded host (a 1ms sleep overshooting to ~4ms is routine), so keep
+	// a wide gap between the phases and retry best-of-3 like the
+	// cancellation-latency test.
+	var tr *Trace
+	for attempt := 1; ; attempt++ {
+		tr = NewTrace()
+		root := tr.Start("solve")
+		a := root.Child("phaseA")
+		time.Sleep(8 * time.Millisecond)
+		a.End()
+		b := root.Child("phaseB")
+		time.Sleep(time.Millisecond)
+		b.End()
+		root.End()
+		sp := tr.Spans()
+		if len(sp) == 3 && sp[1].Wall > sp[2].Wall {
+			break
+		}
+		if attempt == 3 {
+			t.Fatalf("phaseA did not out-sleep phaseB in %d attempts: %+v", attempt, sp)
+		}
+	}
 
 	spans := tr.Spans()
 	if len(spans) != 3 {

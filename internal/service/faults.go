@@ -1,0 +1,24 @@
+package service
+
+import "stencilivc/internal/core"
+
+// The service layer's fault-injection sites. Schedules built by
+// internal/chaos attach to these names to storm the daemon the same way
+// they storm the solvers.
+const (
+	// SiteEnqueueDrop fires once per admission attempt, after the
+	// per-tenant queue bound passed; when it fires the job is shed as if
+	// the queue were full, exercising the transport's shed path without
+	// real pressure.
+	SiteEnqueueDrop = core.FaultSite("service/enqueue-drop")
+	// SiteBatchStall fires once per batch flush. A Stalling rule sleeps
+	// the batcher loop, delaying every pending batch — the modeled
+	// stalled queue that drives queued jobs past their deadlines and
+	// into the shed/partial policy.
+	SiteBatchStall = core.FaultSite("service/batch-stall")
+	// SiteWorkerPanic fires once per job dispatch inside a scheduler
+	// worker, before the solver runs. A Panicking rule crashes the
+	// worker's job; the worker contains the panic into a typed
+	// SolveError, fails that job alone, and keeps serving.
+	SiteWorkerPanic = core.FaultSite("service/worker-panic")
+)

@@ -1,0 +1,55 @@
+package service
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// ShutdownGrace bounds how long an HTTP server drains in-flight
+// requests on shutdown before connections are cut.
+const ShutdownGrace = 5 * time.Second
+
+// NotifySignals returns a context canceled by SIGINT/SIGTERM, shared by
+// the daemon and the one-shot CLI. Unregistering the handler the moment
+// the context cancels — via context.AfterFunc, rather than in the
+// deferred stop at exit — restores Go's default signal handling, so a
+// second ^C terminates immediately even if an exit path stalls (a drain
+// that hangs, a solver ignoring ctx).
+func NotifySignals(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	context.AfterFunc(ctx, stop)
+	return ctx, stop
+}
+
+// NewHTTPServer wraps h in a slowloris-hardened http.Server: a client
+// that stalls mid-headers or mid-read cannot pin a connection open
+// forever. WriteTimeout is generous because /debug/pprof/profile
+// streams for up to 30s by default and long synchronous solves hold
+// their response open.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// Listen binds addr for an HTTP server, so callers can print the
+// resolved address (":0" picks a free port) before serving.
+func Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// ShutdownHTTP drains srv within ShutdownGrace.
+func ShutdownHTTP(srv *http.Server) error {
+	ctx, cancel := context.WithTimeout(context.Background(), ShutdownGrace)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}

@@ -1,0 +1,263 @@
+package service
+
+import (
+	"sort"
+	"sync"
+
+	"stencilivc/internal/obsv"
+)
+
+// tenantState is one tenant's scheduler bookkeeping.
+type tenantState struct {
+	name   string
+	weight float64
+
+	queue  []*batch // FIFO of flushed batches awaiting a worker
+	queued int64    // jobs admitted but not yet dispatched (bound + gauge)
+	served float64  // weight-normalized work dispatched so far
+
+	admitted int64 // jobs admitted past the queue bound, lifetime
+	shed     int64 // jobs refused or dropped by the overload policy, lifetime
+}
+
+// TenantStats is the externally visible accounting of one tenant,
+// reported by GET /healthz and read by the fairness tests.
+type TenantStats struct {
+	// Tenant is the tenant name.
+	Tenant string `json:"tenant"`
+	// Weight is the tenant's fair-share weight.
+	Weight float64 `json:"weight"`
+	// Queued is the number of admitted jobs not yet dispatched.
+	Queued int64 `json:"queued"`
+	// Admitted counts jobs admitted past the queue bound, lifetime.
+	Admitted int64 `json:"admitted"`
+	// Shed counts jobs refused or dropped by the overload policy,
+	// lifetime.
+	Shed int64 `json:"shed"`
+	// ServedWork is the weight-normalized solve work (vertices/weight)
+	// dispatched to workers so far.
+	ServedWork float64 `json:"served_work"`
+}
+
+// scheduler is the bounded worker pool with per-tenant weighted fair
+// queuing. Flushed batches enter per-tenant FIFOs; each free worker
+// dispatches the front batch of the active tenant with the least
+// weight-normalized served work, so throughput divides by weight among
+// tenants with pending work and an idle tenant's return preempts a
+// flooding one.
+type scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tenants map[string]*tenantState
+	closed  bool
+
+	maxQueued int64 // per-tenant bound on admitted-but-undispatched jobs
+	weights   map[string]float64
+
+	metrics *obsv.ServiceMetrics
+	run     func(*batch) // worker body, supplied by the server
+	wg      sync.WaitGroup
+}
+
+// newScheduler builds the scheduler; start launches its workers.
+func newScheduler(maxQueued int, weights map[string]float64,
+	m *obsv.ServiceMetrics, run func(*batch)) *scheduler {
+
+	if maxQueued < 1 {
+		maxQueued = 1
+	}
+	s := &scheduler{
+		tenants:   map[string]*tenantState{},
+		maxQueued: int64(maxQueued),
+		weights:   weights,
+		metrics:   m,
+		run:       run,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// tenant returns (creating on first use) the named tenant's state.
+// Callers hold mu.
+func (s *scheduler) tenant(name string) *tenantState {
+	ts := s.tenants[name]
+	if ts == nil {
+		w := s.weights[name]
+		if w <= 0 {
+			w = 1
+		}
+		ts = &tenantState{name: name, weight: w}
+		s.tenants[name] = ts
+	}
+	return ts
+}
+
+// admit reserves a queue slot for one job of tenant name; it reports
+// false when the tenant's bound is hit, in which case the transport
+// sheds the job. Accounting (admitted/shed counters, queue-depth gauge)
+// happens here so the transport stays a thin layer.
+func (s *scheduler) admit(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := s.tenant(name)
+	if ts.queued >= s.maxQueued {
+		ts.shed++
+		s.metrics.Shed.Add(1)
+		return false
+	}
+	ts.queued++
+	ts.admitted++
+	s.metrics.Admitted.Add(1)
+	s.metrics.QueueDepth.Set(s.totalQueuedLocked())
+	return true
+}
+
+// unadmit releases a reserved queue slot for a job shed between
+// admission and dispatch (batcher backlog, injected enqueue drop). The
+// admit stays counted — both counters are monotone — and the job counts
+// as shed on top.
+func (s *scheduler) unadmit(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := s.tenant(name)
+	ts.queued--
+	ts.shed++
+	s.metrics.Shed.Add(1)
+	s.metrics.QueueDepth.Set(s.totalQueuedLocked())
+}
+
+// totalQueuedLocked sums admitted-but-undispatched jobs over tenants.
+// Callers hold mu.
+func (s *scheduler) totalQueuedLocked() int64 {
+	var n int64
+	for _, ts := range s.tenants {
+		n += ts.queued
+	}
+	return n
+}
+
+// enqueue appends a flushed batch to its tenant's FIFO and wakes one
+// worker. A tenant going active after idling resumes at the minimum
+// served level of the currently active tenants, so banked idle credit
+// cannot starve everyone else later.
+func (s *scheduler) enqueue(bt *batch) {
+	if len(bt.jobs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	ts := s.tenant(bt.jobs[0].tenant)
+	if len(ts.queue) == 0 {
+		if floor, ok := s.minActiveServedLocked(); ok && ts.served < floor {
+			ts.served = floor
+		}
+	}
+	ts.queue = append(ts.queue, bt)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// minActiveServedLocked returns the least served level among tenants
+// with pending batches. Callers hold mu.
+func (s *scheduler) minActiveServedLocked() (float64, bool) {
+	var m float64
+	found := false
+	for _, ts := range s.tenants {
+		if len(ts.queue) == 0 {
+			continue
+		}
+		if !found || ts.served < m {
+			m, found = ts.served, true
+		}
+	}
+	return m, found
+}
+
+// start launches n workers.
+func (s *scheduler) start(n int) {
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.work()
+		}()
+	}
+}
+
+// close stops intake and waits for the workers to drain every queued
+// batch. Jobs still queued run under whatever remains of their
+// deadlines (the server cancels its base context on a forced stop, so a
+// drain never hangs on long solves).
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+}
+
+// work is one worker's loop: pick the fair next batch, run it.
+func (s *scheduler) work() {
+	for {
+		bt := s.next()
+		if bt == nil {
+			return
+		}
+		s.run(bt)
+	}
+}
+
+// next blocks until a batch is available and returns the front batch of
+// the active tenant with the least weight-normalized served work; nil
+// means the scheduler closed and drained.
+func (s *scheduler) next() *batch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		var pick *tenantState
+		for _, ts := range s.tenants {
+			if len(ts.queue) == 0 {
+				continue
+			}
+			if pick == nil || ts.served < pick.served ||
+				(ts.served == pick.served && ts.name < pick.name) {
+				pick = ts
+			}
+		}
+		if pick != nil {
+			bt := pick.queue[0]
+			pick.queue = pick.queue[1:]
+			pick.queued -= int64(len(bt.jobs))
+			pick.served += bt.work() / pick.weight
+			s.metrics.QueueDepth.Set(s.totalQueuedLocked())
+			return bt
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// stats snapshots every tenant's accounting, sorted by name.
+func (s *scheduler) stats() []TenantStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TenantStats, 0, len(s.tenants))
+	for _, ts := range s.tenants {
+		out = append(out, TenantStats{
+			Tenant: ts.name, Weight: ts.weight, Queued: ts.queued,
+			Admitted: ts.admitted, Shed: ts.shed, ServedWork: ts.served,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// shedStats adds one shed to tenant name's lifetime accounting for a
+// drop decided outside admit/unadmit (a job expiring at dispatch).
+func (s *scheduler) shedStats(name string) {
+	s.mu.Lock()
+	s.tenant(name).shed++
+	s.mu.Unlock()
+	s.metrics.Shed.Add(1)
+}

@@ -1,0 +1,351 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stencilivc/internal/core"
+	"stencilivc/internal/heuristics"
+	"stencilivc/internal/obsv"
+)
+
+// Config parameterizes a Server. The zero value is serviceable: defaults
+// fill in a small worker pool, a short coalescing window, and a bounded
+// per-tenant queue, with every observability sink disabled.
+type Config struct {
+	// Workers bounds the scheduler's worker pool; <= 0 picks
+	// min(GOMAXPROCS, 4).
+	Workers int
+	// BatchSize is the batcher's size trigger; <= 0 picks 8, 1 disables
+	// coalescing.
+	BatchSize int
+	// BatchWait is the batcher's max-wait trigger; <= 0 picks 2ms.
+	BatchWait time.Duration
+	// QueueBuffer bounds the batcher intake channel; admission sheds
+	// when it is full. <= 0 picks 256.
+	QueueBuffer int
+	// MaxQueuedPerTenant bounds each tenant's admitted-but-undispatched
+	// jobs; past it, admission sheds. <= 0 picks 256.
+	MaxQueuedPerTenant int
+	// DefaultTimeout is the per-job deadline applied when a request
+	// carries none; 0 picks 30s. Deadlines are the shedding policy, so
+	// every job gets one.
+	DefaultTimeout time.Duration
+	// TenantWeights sets per-tenant fair-share weights; unlisted tenants
+	// weigh 1.
+	TenantWeights map[string]float64
+	// Registry, when non-nil, receives the service_* and solver metric
+	// families and is served at /metrics.
+	Registry *obsv.Registry
+	// Events, when non-nil, receives service.* and solver events.
+	Events *obsv.EventSink
+	// Sampler, when non-nil, runs for the duration of every dispatched
+	// solve (the PR 5 runtime sampler).
+	Sampler *obsv.Sampler
+	// Injector, when non-nil, arms the service/* and solver fault sites.
+	Injector core.Injector
+	// JobRetention bounds how many finished jobs GET /jobs/{id} can
+	// still see; <= 0 picks 1024.
+	JobRetention int
+}
+
+// withDefaults returns cfg with zero fields filled in.
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = min(runtime.GOMAXPROCS(0), 4)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.BatchWait <= 0 {
+		cfg.BatchWait = 2 * time.Millisecond
+	}
+	if cfg.QueueBuffer <= 0 {
+		cfg.QueueBuffer = 256
+	}
+	if cfg.MaxQueuedPerTenant <= 0 {
+		cfg.MaxQueuedPerTenant = 256
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.JobRetention <= 0 {
+		cfg.JobRetention = 1024
+	}
+	return cfg
+}
+
+// Server is the assembled solve daemon: transport → batcher → scheduler
+// → solver. Build one with New, mount Handler, and Close it to drain.
+type Server struct {
+	cfg     Config
+	metrics *obsv.ServiceMetrics
+	solveM  *obsv.SolveMetrics
+	batcher *batcher
+	sched   *scheduler
+
+	// baseCtx parents every job's solve context; baseCancel aborts
+	// in-flight solves on a forced stop.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	started time.Time
+	nextID  atomic.Int64
+	busy    atomic.Int64
+
+	// jobs retains recent jobs for GET /jobs/{id}; doneOrder holds
+	// finished ids oldest-first for retention pruning.
+	jobsMu    sync.Mutex
+	jobs      map[string]*job
+	doneOrder []string
+
+	// closing sheds new admissions during a drain; closeMu serializes
+	// admissions against closing the batcher intake.
+	closeMu sync.RWMutex
+	closing bool
+}
+
+// New assembles and starts a server: the batcher loop and the worker
+// pool run on return. Close stops them.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: obsv.NewServiceMetrics(cfg.Registry),
+		solveM:  obsv.NewSolveMetrics(cfg.Registry),
+		started: time.Now(),
+		jobs:    map[string]*job{},
+	}
+	if cfg.Registry == nil {
+		// Keep the bundles non-nil so instrumentation stays
+		// unconditional; a nil registry makes every metric a no-op.
+		s.metrics = obsv.NewServiceMetrics(nil)
+		s.solveM = obsv.NewSolveMetrics(nil)
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.sched = newScheduler(cfg.MaxQueuedPerTenant, cfg.TenantWeights, s.metrics, s.runBatch)
+	s.batcher = newBatcher(cfg.BatchSize, cfg.BatchWait, cfg.QueueBuffer,
+		s.sched.enqueue, s.metrics, cfg.Events, cfg.Injector)
+	s.batcher.start()
+	s.sched.start(cfg.Workers)
+	return s
+}
+
+// Close drains the daemon: new admissions shed, the batcher flushes its
+// pending batches, and the workers finish every queued job. When ctx
+// expires first, the server cancels its base context so in-flight and
+// still-queued solves abort promptly, then finishes the drain.
+func (s *Server) Close(ctx context.Context) error {
+	s.closeMu.Lock()
+	if s.closing {
+		s.closeMu.Unlock()
+		return errors.New("service: already closed")
+	}
+	s.closing = true
+	s.closeMu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.batcher.stop()
+		s.sched.close()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = fmt.Errorf("service: drain cut short: %w", ctx.Err())
+		s.baseCancel()
+		<-drained
+	}
+	s.baseCancel()
+	return err
+}
+
+// Submit admits one solve request and returns its job. The error return
+// distinguishes malformed requests (the transport answers 400) from
+// sheds, which come back as a finished job with StatusShed.
+func (s *Server) Submit(req *Request) (*job, error) {
+	tenant, alg, stencil, err := parseRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	id := fmt.Sprintf("job-%d", s.nextID.Add(1))
+	j := newJob(id, tenant, alg, stencil, time.Now().Add(timeout))
+	s.remember(j)
+
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closing {
+		s.shed(j, "server draining", false)
+		return j, nil
+	}
+	if !s.sched.admit(tenant) {
+		s.shed(j, fmt.Sprintf("queue full for tenant %q: shedding instead of queuing unboundedly", tenant), false)
+		return j, nil
+	}
+	s.cfg.Events.ServiceAdmit(tenant, id, s.metrics.QueueDepth.Value())
+	if s.cfg.Injector != nil && s.cfg.Injector.Inject(SiteEnqueueDrop) {
+		s.sched.unadmit(tenant)
+		s.shed(j, "injected enqueue drop", true)
+		return j, nil
+	}
+	if !s.batcher.enqueue(j) {
+		s.sched.unadmit(tenant)
+		s.shed(j, "batcher backlogged: shedding instead of queuing unboundedly", true)
+		return j, nil
+	}
+	return j, nil
+}
+
+// shed finishes j as refused by the overload policy. When counted is
+// false the scheduler has not accounted the shed yet (the job never
+// held a queue slot), so the tenant's lifetime shed counter is bumped
+// here.
+func (s *Server) shed(j *job, reason string, counted bool) {
+	if !counted {
+		s.sched.shedStats(j.tenant)
+	}
+	s.cfg.Events.ServiceShed(j.tenant, j.id, reason)
+	j.finish(Result{Status: StatusShed, Error: reason})
+}
+
+// remember registers j for GET /jobs/{id}, pruning the oldest finished
+// jobs past the retention bound.
+func (s *Server) remember(j *job) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	s.jobs[j.id] = j
+}
+
+// lookup returns the job registered under id.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// retire marks j finished for retention accounting and prunes the
+// oldest finished jobs beyond the configured bound.
+func (s *Server) retire(j *job) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	s.doneOrder = append(s.doneOrder, j.id)
+	for len(s.doneOrder) > s.cfg.JobRetention {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+}
+
+// runBatch is the worker body: run the batch's jobs in order,
+// accounting the busy-worker gauge.
+func (s *Server) runBatch(bt *batch) {
+	s.metrics.WorkersBusy.Set(s.busy.Add(1))
+	defer func() { s.metrics.WorkersBusy.Set(s.busy.Add(-1)) }()
+	for _, j := range bt.jobs {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one dispatched job end to end: the deadline shed
+// check, the worker-panic fault site, registry dispatch with the
+// per-request tenant/deadline options, and result classification. It is
+// the worker's panic boundary: a panic (a worker bug, or the injected
+// worker-panic fault) fails this job alone and the worker keeps
+// serving.
+func (s *Server) runJob(j *job) {
+	defer s.retire(j)
+	defer func() {
+		if rec := recover(); rec != nil {
+			se := core.PanicToError(string(j.alg), rec)
+			s.solveM.PanicsRecovered.Add(1)
+			s.cfg.Events.Fallback("service/worker", se.Error())
+			j.finish(Result{Status: StatusError, Error: se.Error()})
+		}
+	}()
+
+	queueWait := time.Since(j.enqueued)
+	if j.expired(time.Now()) {
+		s.sched.shedStats(j.tenant)
+		s.shedExpired(j, queueWait)
+		return
+	}
+	if s.cfg.Injector != nil {
+		// A Panicking rule crashes here; the deferred recover contains it.
+		s.cfg.Injector.Inject(SiteWorkerPanic)
+	}
+
+	opts := &core.SolveOptions{
+		Ctx:             s.baseCtx,
+		Tenant:          j.tenant,
+		Deadline:        j.deadline,
+		Metrics:         s.solveM,
+		Events:          s.cfg.Events,
+		Sampler:         s.cfg.Sampler,
+		Injector:        s.cfg.Injector,
+		PartialOnCancel: true,
+	}
+	var (
+		c      core.Coloring
+		winner heuristics.Algorithm
+		err    error
+	)
+	if j.alg == algBest {
+		c, winner, err = heuristics.Best(j.stencil, opts)
+	} else {
+		winner = j.alg
+		c, err = heuristics.Run(j.alg, j.stencil, opts)
+	}
+
+	res := Result{
+		Alg:     string(winner),
+		QueueMS: float64(queueWait.Microseconds()) / 1000,
+	}
+	switch {
+	case err == nil:
+		res.Status = StatusDone
+		res.MaxColor = c.MaxColor(j.stencil)
+		res.Starts = c.Start
+	case errors.Is(err, core.ErrPartial):
+		// The deadline expired mid-portfolio: the coloring is complete
+		// and valid, only the portfolio sweep was cut short.
+		res.Status = StatusDone
+		res.Partial = true
+		res.MaxColor = c.MaxColor(j.stencil)
+		res.Starts = c.Start
+		res.Error = err.Error()
+	default:
+		res.Status = StatusError
+		res.Error = err.Error()
+	}
+	j.finish(res)
+	snap := j.snapshot()
+	s.metrics.RequestSeconds.Observe(time.Duration(snap.WallMS * float64(time.Millisecond)).Seconds())
+	s.cfg.Events.ServiceDone(j.tenant, j.id, res.MaxColor,
+		time.Duration(snap.WallMS*float64(time.Millisecond)), res.Partial)
+}
+
+// shedExpired finishes a job whose deadline passed while it waited in
+// the batcher or the fair queue — the in-queue face of the shedding
+// policy (the mid-solve face returns a partial result instead).
+func (s *Server) shedExpired(j *job, queueWait time.Duration) {
+	reason := fmt.Sprintf("deadline expired after %.1fms queued: shed instead of running a doomed solve (mid-solve expiry would return a partial result; see ErrPartial)",
+		float64(queueWait.Microseconds())/1000)
+	s.cfg.Events.ServiceShed(j.tenant, j.id, reason)
+	j.finish(Result{Status: StatusShed, Error: reason,
+		QueueMS: float64(queueWait.Microseconds()) / 1000})
+}
+
+// Stats exposes the scheduler's per-tenant accounting (for /healthz and
+// the fairness tests).
+func (s *Server) Stats() []TenantStats { return s.sched.stats() }
