@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check doclint linkcheck fuzz-short bench benchdiff-smoke serve-smoke microbench experiments experiments-full stkde cover clean
+.PHONY: all build vet test race check doclint linkcheck fuzz-short bench bench-kernel benchdiff-smoke serve-smoke microbench experiments experiments-full stkde cover clean
 
 all: build check
 
@@ -44,9 +44,19 @@ fuzz-short:
 # detector (so the portfolio's concurrency paths are race-checked on
 # every build; the slog nil-sink and injector nil-path AllocsPerRun pins
 # run here too), a short fuzz pass over every fuzz target, the
-# documentation lints, the benchdiff self-diff smoke, and the solve-
-# daemon boot smoke. It is part of the default `make` flow via `all`.
-check: vet race fuzz-short doclint linkcheck benchdiff-smoke serve-smoke
+# documentation lints, the benchdiff self-diff smoke, the solve-daemon
+# boot smoke, and the quick kernel-benchmark tier (bench-kernel). It is
+# part of the default `make` flow via `all`.
+check: vet race fuzz-short doclint linkcheck benchdiff-smoke serve-smoke bench-kernel
+
+# bench-kernel is the quick placement-kernel tier: the PlaceLowest
+# micro-benchmarks (interval, streaming, and packed free-map paths —
+# allocs/op must print 0) and the work-stealing scheduler scaling sweep.
+# Short -benchtime keeps it CI-cheap; the committed numbers come from
+# `make bench` (cmd/ivcbench), this tier just proves the benchmarks run
+# and the hot paths still execute allocation-free.
+bench-kernel:
+	$(GO) test -run '^$$' -bench 'PlaceLowest|StealScheduler' -benchmem -benchtime 100x ./internal/grid ./internal/parallel
 
 # serve-smoke boots `ivc -serve` on an ephemeral port, POSTs one 9-pt
 # and one 27-pt job through the HTTP job API, checks /healthz and the
@@ -67,7 +77,7 @@ serve-smoke:
 # against the previous snapshot (BENCH_PR2.json is the PR 2 baseline
 # and stays untouched). Use `make bench BENCH_FLAGS=-quick` for a fast
 # smoke run.
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR7.json
 bench:
 	$(GO) run ./cmd/ivcbench $(BENCH_FLAGS) -out $(BENCH_OUT) -metrics $(BENCH_OUT:.json=.metrics.prom)
 

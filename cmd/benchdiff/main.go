@@ -24,7 +24,9 @@
 // threshold otherwise. Improvements never gate.
 //
 // Exit status: 0 when no benchmark regressed, 1 on regression, 2 on
-// usage or parse errors.
+// usage or parse errors — including two snapshots that share no
+// benchmark names at all, which would otherwise "pass" while gating
+// nothing (a renamed suite must never green the perf gate by accident).
 package main
 
 import (
@@ -78,6 +80,10 @@ noise policy:
 	}
 	d := diff(oldSnap, newSnap, threshold)
 	fmt.Print(render(d, oldSnap, newSnap))
+	if len(d.Deltas) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: the snapshots share no benchmark names; nothing was compared, so nothing was gated")
+		os.Exit(2)
+	}
 	if len(d.Regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n",
 			len(d.Regressions), threshold*100)

@@ -153,6 +153,59 @@ func TestDiff(t *testing.T) {
 	}
 }
 
+// TestDiffOneSidedNeverGates: a benchmark present in only one snapshot
+// is reported (added or removed) but never contributes a regression —
+// in either direction, and no matter how extreme its numbers look.
+func TestDiffOneSidedNeverGates(t *testing.T) {
+	oldSnap := &Snapshot{Path: "old", Label: "old", Benches: map[string]Bench{}}
+	oldSnap.add(Bench{Name: "Shared", NsPerOp: 100, AllocsOp: 0})
+	oldSnap.add(Bench{Name: "OldOnly", NsPerOp: 1, AllocsOp: 0})
+
+	newSnap := &Snapshot{Path: "new", Label: "new", Benches: map[string]Bench{}}
+	newSnap.add(Bench{Name: "Shared", NsPerOp: 100, AllocsOp: 0})
+	newSnap.add(Bench{Name: "NewOnly", NsPerOp: 1e9, AllocsOp: 999})
+
+	d := diff(oldSnap, newSnap, 0.10)
+	if len(d.Regressions) != 0 {
+		t.Errorf("one-sided benchmarks gated: %+v", d.Regressions)
+	}
+	if len(d.Added) != 1 || d.Added[0] != "NewOnly" {
+		t.Errorf("added = %v, want [NewOnly]", d.Added)
+	}
+	if len(d.Removed) != 1 || d.Removed[0] != "OldOnly" {
+		t.Errorf("removed = %v, want [OldOnly]", d.Removed)
+	}
+	out := render(d, oldSnap, newSnap)
+	for _, want := range []string{"added:   NewOnly", "removed: OldOnly", "1 compared, 0 regressed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDiffDisjointComparesNothing: snapshots with no shared names
+// produce zero deltas and zero regressions — the condition main turns
+// into exit status 2, because a gate that matched nothing must not
+// pass as if it had.
+func TestDiffDisjointComparesNothing(t *testing.T) {
+	oldSnap := &Snapshot{Path: "old", Label: "old", Benches: map[string]Bench{}}
+	oldSnap.add(Bench{Name: "A", NsPerOp: 100, AllocsOp: 0})
+	newSnap := &Snapshot{Path: "new", Label: "new", Benches: map[string]Bench{}}
+	newSnap.add(Bench{Name: "B", NsPerOp: 100, AllocsOp: 0})
+
+	d := diff(oldSnap, newSnap, 0.10)
+	if len(d.Deltas) != 0 || len(d.Regressions) != 0 {
+		t.Errorf("disjoint snapshots compared something: deltas=%v regressions=%v",
+			d.Deltas, d.Regressions)
+	}
+	if len(d.Added) != 1 || len(d.Removed) != 1 {
+		t.Errorf("added=%v removed=%v, want one each", d.Added, d.Removed)
+	}
+	if out := render(d, oldSnap, newSnap); !strings.Contains(out, "0 compared") {
+		t.Errorf("render output missing \"0 compared\":\n%s", out)
+	}
+}
+
 // TestSnapshotAddDuplicates: repeated names (go test -count=N) keep the
 // later measurement without duplicating the order.
 func TestSnapshotAddDuplicates(t *testing.T) {

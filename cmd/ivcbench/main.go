@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	ivcbench -out BENCH_PR5.json           full suite (2048^2 2D, 128^3 3D)
+//	ivcbench -out BENCH_PR7.json           full suite (2048^2 2D, 128^3 3D)
 //	ivcbench -quick -out /dev/stdout       small grids, for smoke runs
 //	ivcbench -metrics BENCH.metrics.prom   also snapshot solver metrics
 //	ivcbench -log BENCH.events.jsonl       also write the solve-event log
@@ -17,6 +17,10 @@
 // The suite covers:
 //   - PlaceLowest micro-kernels on 9-pt and 27-pt stencils (the
 //     allocation-free hot path; the acceptance bar is 0 allocs/op),
+//     including the uniform-weight variants that route through the
+//     packed free-map kernel (PlaceLowestUnit, PlaceLowestBitset),
+//   - the work-stealing tile scheduler on a weight-skewed grid at
+//     increasing worker counts (StealSched2D),
 //   - per-algorithm runtimes on representative dataset instances
 //     (Figures 5a and 7a of the paper),
 //   - the tile-parallel speculative solver (PGLL) against sequential
@@ -123,7 +127,7 @@ func main() {
 }
 
 func run() error {
-	out := flag.String("out", "BENCH_PR5.json", "output JSON file ('-' for stdout)")
+	out := flag.String("out", "BENCH_PR7.json", "output JSON file ('-' for stdout)")
 	quick := flag.Bool("quick", false, "use small grids (fast smoke run)")
 	seed := flag.Int64("seed", 1, "weight RNG seed for the scaling grids")
 	metricsOut := flag.String("metrics", "", "also write a Prometheus snapshot of the solver metrics to this file")
@@ -193,7 +197,13 @@ func run() error {
 		if err := benchFigRuntimes(ctx, rep, sm, events); err != nil {
 			return err
 		}
-		return benchParallel(ctx, rep, size2, size3, *seed, sm, events)
+		if err := benchParallel(ctx, rep, size2, size3, *seed, sm, events); err != nil {
+			return err
+		}
+		// Last, after the figure and scaling suites: the steal-scheduler
+		// sweep churns the heap, and running it earlier would skew the
+		// Fig* numbers relative to how older snapshots measured them.
+		return benchSteal(ctx, rep, sm, events)
 	}()
 	if errors.Is(err, errInterrupted) {
 		rep.Interrupted = true
@@ -267,6 +277,27 @@ func note(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "ivcbench: "+format+"\n", args...)
 }
 
+// measure runs fn through testing.Benchmark benchReps times and keeps
+// the run with the lowest ns/op. On a shared-vCPU runner, scheduler and
+// noisy-neighbor interference only ever inflates a measurement, never
+// deflates it, so the minimum is the least-biased estimator of the true
+// cost — single-shot numbers made cross-snapshot diffs flap by ±20% on
+// otherwise identical code. Allocation stats come from the same kept
+// run (they are deterministic across reps).
+func measure(fn func(b *testing.B)) testing.BenchmarkResult {
+	best := testing.Benchmark(fn)
+	for i := 1; i < benchReps; i++ {
+		if r := testing.Benchmark(fn); r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
+
+// benchReps is how many testing.Benchmark runs feed each recorded
+// best-of measurement.
+const benchReps = 3
+
 func record(rep *Report, name string, br testing.BenchmarkResult) *Result {
 	rep.Results = append(rep.Results, Result{
 		Name:     name,
@@ -295,7 +326,7 @@ func benchPlaceLowest(rep *Report, sm *stencilivc.SolveMetrics) {
 		}
 		s := core.FitScratch{Metrics: sm}
 		v := 0
-		br := testing.Benchmark(func(b *testing.B) {
+		br := measure(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				s.PlaceLowest(g, c, v, -1)
@@ -311,6 +342,87 @@ func benchPlaceLowest(rep *Report, sm *stencilivc.SolveMetrics) {
 	run("PlaceLowest/9pt", g2, g2.W)
 	g3 := grid.MustGrid3D(16, 16, 16)
 	run("PlaceLowest/27pt", g3, g3.W)
+
+	// The uniform-weight kernels: PlaceLowestUnit is the unit-weight
+	// degenerate case (classic vertex coloring; the STKDE warm-up tier),
+	// PlaceLowestBitset a common weight w > 1 with slot-aligned starts.
+	// Both route through the packed free-map scan instead of the
+	// interval kernel; allocs/op must likewise stay 0.
+	runUniform := func(name string, g grid.Stencil, w []int64, wv int64) {
+		rng := rand.New(rand.NewSource(1))
+		for v := range w {
+			w[v] = wv
+		}
+		c := core.NewColoring(g.Len())
+		for v := range c.Start {
+			c.Start[v] = rng.Int63n(12) * wv // slot-aligned, as greedy produces
+		}
+		s := core.FitScratch{Metrics: sm}
+		v := 0
+		br := measure(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.PlaceLowest(g, c, v, -1)
+				v++
+				if v == g.Len() {
+					v = 0
+				}
+			}
+		})
+		record(rep, name, br)
+	}
+	u2 := grid.MustGrid2D(64, 64)
+	runUniform("PlaceLowestUnit/9pt", u2, u2.W, 1)
+	u3 := grid.MustGrid3D(16, 16, 16)
+	runUniform("PlaceLowestUnit/27pt", u3, u3.W, 1)
+	b2 := grid.MustGrid2D(64, 64)
+	runUniform("PlaceLowestBitset/9pt", b2, b2.W, 5)
+	b3 := grid.MustGrid3D(16, 16, 16)
+	runUniform("PlaceLowestBitset/27pt", b3, b3.W, 5)
+}
+
+// benchSteal measures the work-stealing tile scheduler on a
+// weight-skewed grid — one heavy corner makes the static contiguous
+// partition unbalanced, so scaling beyond par=1 depends on idle
+// workers stealing tile ranges. Blind speculation keeps the coloring
+// (and the repair work) identical across worker counts, so the sweep
+// measures scheduling, not workload drift.
+func benchSteal(ctx context.Context, rep *Report, sm *stencilivc.SolveMetrics, ev *stencilivc.EventSink) error {
+	const dim = 256
+	g := grid.MustGrid2D(dim, dim)
+	rng := rand.New(rand.NewSource(3))
+	for v := range g.W {
+		g.W[v] = rng.Int63n(9) + 1
+	}
+	for j := 0; j < dim/4; j++ {
+		for i := 0; i < dim/4; i++ {
+			g.Set(i, j, 60+rng.Int63n(40))
+		}
+	}
+	for _, par := range []int{1, 2, 4} {
+		if err := checkpoint(ctx); err != nil {
+			return err
+		}
+		var mc int64
+		var solveErr error
+		br := measure(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := stencilivc.Solve(stencilivc.PGLL, g,
+					&stencilivc.SolveOptions{Parallelism: par, Metrics: sm, Events: ev})
+				if err != nil {
+					solveErr = err
+					b.FailNow()
+				}
+				mc = c.MaxColor(g)
+			}
+		})
+		if solveErr != nil {
+			return solveErr
+		}
+		r := record(rep, fmt.Sprintf("StealSched2D/%dx%d-par%d", dim, dim, par), br)
+		r.MaxColor, r.Par = mc, par
+	}
+	return nil
 }
 
 // benchFigRuntimes reruns the per-algorithm runtime comparisons of
@@ -360,7 +472,7 @@ func benchFigRuntimes(ctx context.Context, rep *Report, sm *stencilivc.SolveMetr
 		}
 		alg := alg
 		var mc int64
-		br := testing.Benchmark(func(b *testing.B) {
+		br := measure(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				c, err := stencilivc.Solve(alg, g2, &stencilivc.SolveOptions{Metrics: sm, Events: ev})
 				if err != nil {
@@ -377,7 +489,7 @@ func benchFigRuntimes(ctx context.Context, rep *Report, sm *stencilivc.SolveMetr
 		}
 		alg := alg
 		var mc int64
-		br := testing.Benchmark(func(b *testing.B) {
+		br := measure(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				c, err := stencilivc.Solve(alg, g3, &stencilivc.SolveOptions{Metrics: sm, Events: ev})
 				if err != nil {
@@ -404,7 +516,7 @@ func benchParallel(ctx context.Context, rep *Report, size2, size3 int, seed int6
 	solve := func(alg stencilivc.Algorithm, s stencilivc.Stencil, par int) (testing.BenchmarkResult, int64, error) {
 		var mc int64
 		var solveErr error
-		br := testing.Benchmark(func(b *testing.B) {
+		br := measure(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				c, err := stencilivc.Solve(alg, s, &stencilivc.SolveOptions{Parallelism: par, Metrics: sm, Events: ev})
 				if err != nil {

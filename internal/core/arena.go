@@ -1,0 +1,38 @@
+package core
+
+import "sync"
+
+// The scratch arena: FitScratch carries grown neighbor/occupancy
+// buffers (and a warm uniform-weight memo) that are worth keeping
+// across solves. Solvers that run per request — the service daemon's
+// worker pool above all — acquire scratches here instead of
+// zero-constructing them, so a steady stream of same-shaped jobs pays
+// the buffer growth once, not per job.
+var fitScratchPool = sync.Pool{New: func() any { return new(FitScratch) }}
+
+// AcquireFitScratch returns a pooled FitScratch wired to the options'
+// stats and metrics sinks. Callers must return it with
+// ReleaseFitScratch when the solve is done (defer is fine); the scratch
+// must not be used after release.
+func AcquireFitScratch(opts *SolveOptions) *FitScratch {
+	s := fitScratchPool.Get().(*FitScratch)
+	s.Stats = opts.Sink()
+	s.Metrics = opts.Meters()
+	return s
+}
+
+// ReleaseFitScratch returns s to the arena. Sink pointers and the
+// uniform-weight memo are cleared — the memo keys on graph identity,
+// and a recycled allocation at the same address must not inherit a
+// stale verdict — while the grown buffers are kept warm. A nil s is a
+// no-op, so error paths can release unconditionally.
+func ReleaseFitScratch(s *FitScratch) {
+	if s == nil {
+		return
+	}
+	s.Stats = nil
+	s.Metrics = nil
+	s.uniFor = nil
+	s.uniW = 0
+	fitScratchPool.Put(s)
+}

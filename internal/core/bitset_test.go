@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestScanUniformWeight pins the verdict on the edge shapes: empty,
+// zero-weight, single-vertex, uniform, and mixed graphs.
+func TestScanUniformWeight(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []int64
+		wantW   int64
+		wantOK  bool
+	}{
+		{"empty", nil, 0, false},
+		{"single", []int64{7}, 7, true},
+		{"uniform", []int64{3, 3, 3, 3}, 3, true},
+		{"mixed", []int64{3, 3, 4}, 0, false},
+		{"zero", []int64{0, 0}, 0, false},
+		{"zero-among", []int64{2, 0, 2}, 0, false},
+	}
+	for _, c := range cases {
+		g := MustCSRGraph(c.weights, nil)
+		w, ok := ScanUniformWeight(g)
+		if w != c.wantW || ok != c.wantOK {
+			t.Errorf("%s: ScanUniformWeight = (%d, %v), want (%d, %v)",
+				c.name, w, ok, c.wantW, c.wantOK)
+		}
+	}
+}
+
+// TestCSRUniformWeightCache: the verdict is computed at construction,
+// invalidated by SetWeight, and recomputed lazily — in both directions
+// (uniform -> mixed and mixed -> uniform).
+func TestCSRUniformWeightCache(t *testing.T) {
+	g := MustCSRGraph([]int64{5, 5, 5}, []Edge{{0, 1}, {1, 2}})
+	if w, ok := g.UniformWeight(); !ok || w != 5 {
+		t.Fatalf("constructed uniform graph: UniformWeight = (%d, %v), want (5, true)", w, ok)
+	}
+	g.SetWeight(1, 9)
+	if w, ok := g.UniformWeight(); ok {
+		t.Fatalf("after SetWeight(1, 9): UniformWeight = (%d, %v), want not uniform", w, ok)
+	}
+	g.SetWeight(1, 5)
+	if w, ok := g.UniformWeight(); !ok || w != 5 {
+		t.Fatalf("after restoring: UniformWeight = (%d, %v), want (5, true)", w, ok)
+	}
+}
+
+// TestUniformWeightInterfacePrecedence: an explicit UniformWeighter
+// opt-out wins over the weight scan — this is what the equivalence
+// tests use to force the v1 interval kernel on uniform instances.
+func TestUniformWeightInterfacePrecedence(t *testing.T) {
+	g := MustCSRGraph([]int64{4, 4}, []Edge{{0, 1}})
+	if w, ok := UniformWeight(hideUniform{g}); ok || w != 0 {
+		t.Errorf("opted-out graph still reported uniform (%d, %v)", w, ok)
+	}
+	if w, ok := UniformWeight(g); !ok || w != 4 {
+		t.Errorf("plain graph: UniformWeight = (%d, %v), want (4, true)", w, ok)
+	}
+}
+
+// hideUniform wraps a graph and opts out of the uniform-weight fast
+// path regardless of the actual weights.
+type hideUniform struct{ Graph }
+
+func (hideUniform) UniformWeight() (int64, bool) { return 0, false }
+
+// TestFreeMapSpill: occupancy beyond one word spills into the next —
+// occupying slots 0..63 places the first free slot at 64, and a hole
+// anywhere below is found first.
+func TestFreeMapSpill(t *testing.T) {
+	var f freeMap
+	for s := int64(0); s < 64; s++ {
+		f.set(s)
+	}
+	if got := f.firstFree(); got != 64 {
+		t.Errorf("full first word: firstFree = %d, want 64", got)
+	}
+	var g freeMap
+	for s := int64(0); s < 200; s++ {
+		if s != 130 {
+			g.set(s)
+		}
+	}
+	if got := g.firstFree(); got != 130 {
+		t.Errorf("hole at 130: firstFree = %d, want 130", got)
+	}
+	var h freeMap
+	for s := int64(0); s < freeMapSlots; s++ {
+		h.set(s)
+	}
+	if got := h.firstFree(); got != freeMapSlots {
+		t.Errorf("saturated map: firstFree = %d, want %d", got, freeMapSlots)
+	}
+}
+
+// TestLowestFitUniformRefusals: the kernel must report false — never a
+// wrong answer — on inputs it cannot represent: starts that are not
+// multiples of w and occupancies that could overflow the map.
+func TestLowestFitUniformRefusals(t *testing.T) {
+	if _, ok := LowestFitUniform([]Interval{{Start: 3, End: 5}}, 2); ok {
+		t.Error("non-multiple start was not refused")
+	}
+	big := make([]Interval, freeMapSlots)
+	for i := range big {
+		big[i] = Interval{Start: int64(i) * 2, End: int64(i)*2 + 2}
+	}
+	if _, ok := LowestFitUniform(big, 2); ok {
+		t.Error("map-overflowing occupancy was not refused")
+	}
+	if s, ok := LowestFitUniform([]Interval{{Start: 2, End: 4}}, 0); !ok || s != 0 {
+		t.Errorf("zero width: got (%d, %v), want (0, true)", s, ok)
+	}
+	// Empty intervals are ignored, exactly like the interval kernels.
+	if s, ok := LowestFitUniform([]Interval{{Start: 3, End: 3}, {Start: 0, End: 2}}, 2); !ok || s != 2 {
+		t.Errorf("empty interval not ignored: got (%d, %v), want (2, true)", s, ok)
+	}
+}
+
+// TestKernelsAgreeRandom hammers the three kernels against the brute
+// reference on random occupancies, both general and uniform-shaped.
+func TestKernelsAgreeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(27)
+		w := int64(rng.Intn(7))
+		occ := make([]Interval, n)
+		for i := range occ {
+			occ[i] = NewInterval(int64(rng.Intn(50)), int64(rng.Intn(6)))
+		}
+		want := bruteLowestFit(occ, w)
+		if got := LowestFitStream(occ, w); got != want {
+			t.Fatalf("trial %d: LowestFitStream(%v, %d) = %d, want %d", trial, occ, w, got, want)
+		}
+		if got := LowestFit(append([]Interval{}, occ...), w); got != want {
+			t.Fatalf("trial %d: LowestFit(%v, %d) = %d, want %d", trial, occ, w, got, want)
+		}
+		if w > 0 {
+			uocc := make([]Interval, n)
+			for i := range uocc {
+				uocc[i] = NewInterval(int64(rng.Intn(30))*w, w)
+			}
+			ugot, ok := LowestFitUniform(uocc, w)
+			if !ok {
+				t.Fatalf("trial %d: LowestFitUniform refused %v (w=%d)", trial, uocc, w)
+			}
+			if uwant := bruteLowestFit(uocc, w); ugot != uwant {
+				t.Fatalf("trial %d: LowestFitUniform(%v, %d) = %d, want %d", trial, uocc, w, ugot, uwant)
+			}
+		}
+	}
+}
+
+// TestLowestFitStreamDescending pins the streaming kernel's worst case
+// (starts strictly descending, maximally chained) for correctness.
+func TestLowestFitStreamDescending(t *testing.T) {
+	occ := make([]Interval, 26)
+	for i := range occ {
+		s := int64(25-i) * 2
+		occ[i] = Interval{Start: s, End: s + 2}
+	}
+	if got := LowestFitStream(occ, 2); got != 52 {
+		t.Errorf("descending chain: got %d, want 52", got)
+	}
+}
+
+// TestV2KernelsNoAllocs pins the zero-allocation contract of both v2
+// kernels.
+func TestV2KernelsNoAllocs(t *testing.T) {
+	occ := []Interval{{Start: 4, End: 6}, {Start: 0, End: 2}, {Start: 8, End: 10}}
+	if n := testing.AllocsPerRun(100, func() {
+		LowestFitStream(occ, 2)
+	}); n != 0 {
+		t.Errorf("LowestFitStream allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		LowestFitUniform(occ, 2)
+	}); n != 0 {
+		t.Errorf("LowestFitUniform allocates %v/op, want 0", n)
+	}
+}
+
+// TestGreedyColorKernelEquivalence: greedy colorings through the v2
+// dispatch (uniform free-map or streaming scan) are byte-identical to
+// colorings forced through the v1 interval kernel, on uniform and
+// mixed weights alike.
+func TestGreedyColorKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 30 + rng.Intn(40)
+		weights := make([]int64, n)
+		uniform := trial%2 == 0
+		for v := range weights {
+			if uniform {
+				weights[v] = int64(trial%5) + 1
+			} else {
+				weights[v] = rng.Int63n(6)
+			}
+		}
+		var edges []Edge
+		for u := 0; u < n; u++ {
+			for d := 1; d <= 3; d++ {
+				if v := u + d; v < n && rng.Intn(2) == 0 {
+					edges = append(edges, Edge{u, v})
+				}
+			}
+		}
+		g := MustCSRGraph(weights, edges)
+		order := rng.Perm(n)
+		v2, err := GreedyColor(g, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := GreedyColor(hideUniform{g}, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range v1.Start {
+			if v1.Start[v] != v2.Start[v] {
+				t.Fatalf("trial %d (uniform=%v): vertex %d colored %d by v1, %d by v2",
+					trial, uniform, v, v1.Start[v], v2.Start[v])
+			}
+		}
+	}
+}

@@ -2,8 +2,11 @@ package core
 
 import "testing"
 
-// FuzzLowestFit cross-checks the gap-scan placement against the
-// color-by-color reference on fuzzer-chosen occupations.
+// FuzzLowestFit cross-checks every placement kernel — the v1 sort+scan
+// (LowestFit), the v2 sort-free streaming scan (LowestFitStream), and,
+// on uniform-shaped occupancies, the v2 packed free-map kernel
+// (LowestFitUniform) — against the color-by-color reference on
+// fuzzer-chosen occupations.
 func FuzzLowestFit(f *testing.F) {
 	f.Add(int64(0), int64(3), int64(5), int64(2), int64(4), int64(2), uint8(2))
 	f.Add(int64(1), int64(1), int64(1), int64(1), int64(1), int64(1), uint8(0))
@@ -20,8 +23,11 @@ func FuzzLowestFit(f *testing.F) {
 			NewInterval(norm(s3), norm(w3)%8),
 		}
 		w := int64(wRaw % 9)
-		got := LowestFit(append([]Interval{}, occ...), w)
 		want := bruteLowestFit(occ, w)
+		if got := LowestFitStream(occ, w); got != want {
+			t.Fatalf("LowestFitStream(%v, %d) = %d, reference %d", occ, w, got, want)
+		}
+		got := LowestFit(append([]Interval{}, occ...), w)
 		if got != want {
 			t.Fatalf("LowestFit(%v, %d) = %d, reference %d", occ, w, got, want)
 		}
@@ -30,6 +36,23 @@ func FuzzLowestFit(f *testing.F) {
 		for _, iv := range occ {
 			if cand.Overlaps(iv) {
 				t.Fatalf("returned placement overlaps %v", iv)
+			}
+		}
+		// Reshape the same inputs into a uniform-weight occupancy (all
+		// widths w, starts multiples of w) and cross-check the free-map
+		// kernel; it must accept the instance, never fall back.
+		if w > 0 {
+			uocc := make([]Interval, 0, len(occ))
+			for _, iv := range occ {
+				slot := iv.Start % 6
+				uocc = append(uocc, Interval{Start: slot * w, End: slot*w + w})
+			}
+			ugot, ok := LowestFitUniform(uocc, w)
+			if !ok {
+				t.Fatalf("LowestFitUniform(%v, %d) refused a uniform instance", uocc, w)
+			}
+			if uwant := bruteLowestFit(uocc, w); ugot != uwant {
+				t.Fatalf("LowestFitUniform(%v, %d) = %d, reference %d", uocc, w, ugot, uwant)
 			}
 		}
 	})

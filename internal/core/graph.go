@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Graph is the minimal view of a weighted undirected graph needed by the
@@ -100,7 +101,36 @@ type CSRGraph struct {
 	// construction-time no-overflow guarantee (Σw fits in int64, hence
 	// every start+w a solver can produce does too) survives mutation.
 	total int64
+	// uniform caches the uniform-weight verdict that routes placements
+	// onto the packed free-map kernel: > 0 is the common weight, -1 is
+	// "not uniform", 0 is "dirty, recompute". It is sound to cache here
+	// because the weight slice is private and SetWeight (which marks it
+	// dirty) is the only mutation path. Accessed atomically so
+	// concurrent readers can share one lazy recomputation.
+	uniform int64
 }
+
+// UniformWeight reports whether every vertex has the same positive
+// weight (core.UniformWeighter): the verdict that lets placements take
+// the packed free-map kernel. The answer is cached — computed at
+// construction, invalidated by SetWeight, and lazily recomputed here —
+// so steady-state calls are one atomic load.
+func (g *CSRGraph) UniformWeight() (int64, bool) {
+	u := atomic.LoadInt64(&g.uniform)
+	if u == 0 {
+		u = -1
+		if w, ok := ScanUniformWeight(g); ok {
+			u = w
+		}
+		atomic.StoreInt64(&g.uniform, u)
+	}
+	if u > 0 {
+		return u, true
+	}
+	return 0, false
+}
+
+var _ UniformWeighter = (*CSRGraph)(nil)
 
 var _ Graph = (*CSRGraph)(nil)
 
@@ -129,6 +159,10 @@ func NewCSRGraph(weights []int64, edges []Edge) (*CSRGraph, error) {
 		return nil, fmt.Errorf("core: %d edges overflow the CSR int32 offset type", len(edges))
 	}
 	var total int64
+	uniform := int64(-1)
+	if n > 0 && weights[0] > 0 {
+		uniform = weights[0]
+	}
 	for _, w := range weights {
 		if w < 0 {
 			return nil, fmt.Errorf("core: negative weight %d", w)
@@ -137,6 +171,9 @@ func NewCSRGraph(weights []int64, edges []Edge) (*CSRGraph, error) {
 			return nil, fmt.Errorf("core: total weight overflows int64 (interval ends would wrap)")
 		}
 		total += w
+		if w != uniform {
+			uniform = -1
+		}
 	}
 	deg := make([]int32, n)
 	for _, e := range edges {
@@ -174,7 +211,7 @@ func NewCSRGraph(weights []int64, edges []Edge) (*CSRGraph, error) {
 	}
 	w := make([]int64, n)
 	copy(w, weights)
-	return &CSRGraph{offsets: offsets, adj: adj, weights: w, total: total}, nil
+	return &CSRGraph{offsets: offsets, adj: adj, weights: w, total: total, uniform: uniform}, nil
 }
 
 // MustCSRGraph is NewCSRGraph that panics on error; for tests and
@@ -207,6 +244,7 @@ func (g *CSRGraph) SetWeight(v int, w int64) {
 	}
 	g.total = rest + w
 	g.weights[v] = w
+	atomic.StoreInt64(&g.uniform, 0) // uniform verdict: dirty, recompute lazily
 }
 
 // Neighbors appends the neighbors of v to buf and returns it.

@@ -65,6 +65,10 @@ func insertionSortByStart(occ []Interval) {
 // graph; it avoids per-vertex allocations in the greedy inner loop. When
 // Stats is non-nil, every PlaceLowest records one placement and one probe
 // per neighbor interval examined.
+//
+// Scratches are cheap to zero-construct, but solver loops that run per
+// request (the service daemon) should acquire one from the arena with
+// AcquireFitScratch so grown buffers survive across solves.
 type FitScratch struct {
 	nbuf []int
 	occ  []Interval
@@ -73,6 +77,12 @@ type FitScratch struct {
 	// the placement loop touches no slice growth and no heap at all.
 	fixN [MaxFixedDegree]int
 	fixI [MaxFixedDegree]Interval
+	// uniFor/uniW memoize the uniform-weight verdict per graph, so the
+	// per-placement dispatch onto the packed free-map kernel is one
+	// interface compare. uniW > 0 means every vertex of uniFor weighs
+	// uniW; uniW == 0 means the verdict for uniFor was "not uniform".
+	uniFor Graph
+	uniW   int64
 	// Stats is an optional sink for placement/probe counters.
 	Stats *Stats
 	// Metrics is an optional metrics bundle; when non-nil every
@@ -113,11 +123,41 @@ func (s *FitScratch) PlaceLowest(g Graph, c Coloring, v int, skip int) int64 {
 		s.Metrics.Probes.Add(int64(len(s.occ)))
 		s.Metrics.OccLen.ObserveInt(int64(len(s.occ)))
 	}
-	return LowestFit(s.occ, g.Weight(v))
+	w := g.Weight(v)
+	if s.uniformFor(g) > 0 {
+		if start, ok := LowestFitUniform(s.occ, w); ok {
+			return start
+		}
+	}
+	if len(s.occ) <= smallSortMax {
+		return LowestFitStream(s.occ, w)
+	}
+	return LowestFit(s.occ, w)
+}
+
+// uniformFor returns the memoized uniform weight of g (0 when g's
+// weights are not uniform), recomputing the memo on graph change. The
+// verdict itself is cached on the graph (UniformWeighter), so a memo
+// miss costs one interface call, not a weight scan, for the stencils
+// and CSR.
+func (s *FitScratch) uniformFor(g Graph) int64 {
+	if g != s.uniFor {
+		s.uniFor = g
+		s.uniW = 0
+		if w, ok := UniformWeight(g); ok {
+			s.uniW = w
+		}
+	}
+	return s.uniW
 }
 
 // placeFixed is PlaceLowest specialized to fixed-degree (stencil) graphs.
 func (s *FitScratch) placeFixed(g FixedGraph, c Coloring, v int, skip int) int64 {
+	if s.uniformFor(g) > 0 {
+		if start, ok := s.placeFixedBits(g, c, v, skip); ok {
+			return start
+		}
+	}
 	deg := g.NeighborsFixed(v, &s.fixN)
 	m := 0
 	for t := 0; t < deg; t++ {
@@ -145,7 +185,49 @@ func (s *FitScratch) placeFixed(g FixedGraph, c Coloring, v int, skip int) int64
 		s.Metrics.Probes.Add(int64(m))
 		s.Metrics.OccLen.ObserveInt(int64(m))
 	}
-	return LowestFit(s.fixI[:m], g.Weight(v))
+	return LowestFitStream(s.fixI[:m], g.Weight(v))
+}
+
+// placeFixedBits is the uniform-weight fast path of placeFixed: the
+// occupancy of v's colored neighbors is a packed slot bitmap and the
+// lowest fit is one word-level first-free scan — no interval is ever
+// materialized and no neighbor weight is ever loaded (uniformity makes
+// them all s.uniW). It reports false, recording nothing, when a
+// neighbor start breaks the multiple-of-w invariant; the caller then
+// takes the general interval path. Placement/probe accounting matches
+// the interval kernel exactly, so the two paths are observably
+// identical except for speed.
+func (s *FitScratch) placeFixedBits(g FixedGraph, c Coloring, v int, skip int) (int64, bool) {
+	w := s.uniW
+	deg := g.NeighborsFixed(v, &s.fixN)
+	var f freeMap
+	m := 0
+	for t := 0; t < deg; t++ {
+		u := s.fixN[t]
+		if u == skip {
+			continue
+		}
+		su := c.Start[u]
+		if su < 0 {
+			continue // Unset
+		}
+		slot, ok := slotOf(su, w)
+		if !ok {
+			return 0, false
+		}
+		f.set(slot)
+		m++
+	}
+	if s.Stats != nil {
+		s.Stats.AddPlacements(1)
+		s.Stats.AddProbes(int64(m))
+	}
+	if s.Metrics != nil {
+		s.Metrics.Vertices.Add(1)
+		s.Metrics.Probes.Add(int64(m))
+		s.Metrics.OccLen.ObserveInt(int64(m))
+	}
+	return f.firstFree() * w, true
 }
 
 // GreedyColor colors the vertices of g one at a time in the given order,
@@ -167,6 +249,11 @@ func GreedyColorOpts(g Graph, order []int, opts *SolveOptions) (Coloring, error)
 		return Coloring{}, err
 	}
 	c := NewColoring(g.Len())
+	// A stack scratch, not the arena: a single greedy pass over a stencil
+	// stays on the fixed-array path and never grows heap state, so the
+	// pool would only add a Get/Put (and a cold-miss allocation) here.
+	// The arena pays off where scratches are acquired repeatedly — tile
+	// workers and the recoloring passes.
 	s := FitScratch{Stats: opts.Sink(), Metrics: opts.Meters()}
 	for i, v := range order {
 		if i%CtxCheckInterval == 0 {

@@ -160,6 +160,35 @@ func BenchmarkPlaceLowest(b *testing.B) {
 			}
 		}
 	}
+	// Uniform-weight variants route through the packed free-map kernel
+	// (weight 1 is the classic-coloring degenerate case, weight 5 a
+	// common slot width); starts are slot-aligned, as greedy produces.
+	runUniform := func(b *testing.B, g Stencil, wv int64) {
+		rng := rand.New(rand.NewSource(1))
+		w := weights(g)
+		for v := range w {
+			w[v] = wv
+		}
+		c := core.NewColoring(g.Len())
+		for v := range c.Start {
+			c.Start[v] = rng.Int63n(12) * wv
+		}
+		var s core.FitScratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		v := 0
+		for i := 0; i < b.N; i++ {
+			s.PlaceLowest(g, c, v, -1)
+			v++
+			if v == g.Len() {
+				v = 0
+			}
+		}
+	}
 	b.Run("9pt", func(b *testing.B) { run(b, MustGrid2D(64, 64)) })
 	b.Run("27pt", func(b *testing.B) { run(b, MustGrid3D(16, 16, 16)) })
+	b.Run("Unit/9pt", func(b *testing.B) { runUniform(b, MustGrid2D(64, 64), 1) })
+	b.Run("Unit/27pt", func(b *testing.B) { runUniform(b, MustGrid3D(16, 16, 16), 1) })
+	b.Run("Bitset/9pt", func(b *testing.B) { runUniform(b, MustGrid2D(64, 64), 5) })
+	b.Run("Bitset/27pt", func(b *testing.B) { runUniform(b, MustGrid3D(16, 16, 16), 5) })
 }

@@ -162,7 +162,8 @@ func postOrder(g core.Graph, c core.Coloring, blocks []grid.Block) []int {
 // is polled every core.CtxCheckInterval vertices; on cancellation the
 // coloring may be left partially compacted but is abandoned by callers.
 func recolor(g core.Graph, c core.Coloring, order []int, opts *core.SolveOptions) error {
-	s := core.FitScratch{Stats: opts.Sink()}
+	s := core.AcquireFitScratch(opts)
+	defer core.ReleaseFitScratch(s)
 	for i, v := range order {
 		if i%core.CtxCheckInterval == 0 {
 			if err := opts.Err(); err != nil {

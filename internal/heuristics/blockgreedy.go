@@ -39,7 +39,8 @@ func greedyBlocksFirst(g core.Graph, blocks []grid.Block, opts *core.SolveOption
 	sorted := append([]grid.Block{}, blocks...)
 	grid.SortBlocksByWeightDesc(sorted)
 	c := core.NewColoring(g.Len())
-	s := core.FitScratch{Stats: opts.Sink()}
+	s := core.AcquireFitScratch(opts)
+	defer core.ReleaseFitScratch(s)
 	for bi, b := range sorted {
 		if bi%ctxEveryBlocks == 0 {
 			if err := opts.Err(); err != nil {
@@ -54,7 +55,7 @@ func greedyBlocksFirst(g core.Graph, blocks []grid.Block, opts *core.SolveOption
 	}
 	// Blocks cover every vertex on all supported grids, but guard anyway:
 	// any straggler is colored greedily.
-	if err := colorStragglers(g, c, &s, opts); err != nil {
+	if err := colorStragglers(g, c, s, opts); err != nil {
 		return core.Coloring{}, err
 	}
 	return c, nil
@@ -102,7 +103,8 @@ func smartBlocksPermuted(g core.Graph, blocks []grid.Block, opts *core.SolveOpti
 	sorted := append([]grid.Block{}, blocks...)
 	grid.SortBlocksByWeightDesc(sorted)
 	c := core.NewColoring(g.Len())
-	s := core.FitScratch{Stats: opts.Sink()}
+	s := core.AcquireFitScratch(opts)
+	defer core.ReleaseFitScratch(s)
 	var uncolored []int
 	for bi, b := range sorted {
 		if bi%ctxEveryBlocks == 0 {
@@ -119,12 +121,12 @@ func smartBlocksPermuted(g core.Graph, blocks []grid.Block, opts *core.SolveOpti
 		if len(uncolored) == 0 {
 			continue
 		}
-		bestPerm := commitBestPermutation(g, c, &s, b.Vertices, uncolored)
+		bestPerm := commitBestPermutation(g, c, s, b.Vertices, uncolored)
 		for i, v := range uncolored {
 			c.Start[v] = bestPerm[i]
 		}
 	}
-	if err := colorStragglers(g, c, &s, opts); err != nil {
+	if err := colorStragglers(g, c, s, opts); err != nil {
 		return core.Coloring{}, err
 	}
 	return c, nil
@@ -188,7 +190,8 @@ func smartBlocksSorted(g core.Graph, blocks []grid.Block, opts *core.SolveOption
 	sorted := append([]grid.Block{}, blocks...)
 	grid.SortBlocksByWeightDesc(sorted)
 	c := core.NewColoring(g.Len())
-	s := core.FitScratch{Stats: opts.Sink()}
+	s := core.AcquireFitScratch(opts)
+	defer core.ReleaseFitScratch(s)
 	var uncolored []int
 	for bi, b := range sorted {
 		if bi%ctxEveryBlocks == 0 {
@@ -217,7 +220,7 @@ func smartBlocksSorted(g core.Graph, blocks []grid.Block, opts *core.SolveOption
 			c.Start[v] = s.PlaceLowest(g, c, v, -1)
 		}
 	}
-	if err := colorStragglers(g, c, &s, opts); err != nil {
+	if err := colorStragglers(g, c, s, opts); err != nil {
 		return core.Coloring{}, err
 	}
 	return c, nil

@@ -17,7 +17,8 @@ func SmartLargestCliqueFirst3DFull(g *grid.Grid3D) core.Coloring {
 	blocks := append([]grid.Block{}, g.CliqueBlocks()...)
 	grid.SortBlocksByWeightDesc(blocks)
 	c := core.NewColoring(g.Len())
-	var s core.FitScratch
+	s := core.AcquireFitScratch(nil)
+	defer core.ReleaseFitScratch(s)
 	var uncolored []int
 	for _, b := range blocks {
 		uncolored = uncolored[:0]
@@ -29,7 +30,7 @@ func SmartLargestCliqueFirst3DFull(g *grid.Grid3D) core.Coloring {
 		if len(uncolored) == 0 {
 			continue
 		}
-		best := commitBestPermutation(g, c, &s, b.Vertices, uncolored)
+		best := commitBestPermutation(g, c, s, b.Vertices, uncolored)
 		for i, v := range uncolored {
 			c.Start[v] = best[i]
 		}

@@ -21,6 +21,12 @@ type SolveMetrics struct {
 	// RepairRounds counts completed detect/recolor rounds —
 	// ivc_repair_rounds_total.
 	RepairRounds *Counter
+	// Steals counts tile-range steals by the work-stealing scheduler:
+	// how often a worker that drained its own contiguous range took half
+	// of another worker's remainder — ivc_tile_steals_total. A high rate
+	// relative to tile count means the static partition was badly
+	// weight-skewed.
+	Steals *Counter
 	// Solves counts completed top-level solves — ivc_solves_total.
 	Solves *Counter
 	// Allocs counts heap allocations performed during solves (MemStats
@@ -67,6 +73,8 @@ func NewSolveMetrics(r *Registry) *SolveMetrics {
 			"Conflict losers recolored by parallel repair rounds."),
 		RepairRounds: r.Counter("ivc_repair_rounds_total",
 			"Detect/recolor rounds completed by the parallel solver."),
+		Steals: r.Counter("ivc_tile_steals_total",
+			"Tile-range steals performed by the work-stealing scheduler."),
 		Solves: r.Counter("ivc_solves_total",
 			"Completed registry-dispatched solves."),
 		Allocs: r.Counter("ivc_solve_allocs_total",

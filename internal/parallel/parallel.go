@@ -1,9 +1,10 @@
 package parallel
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -161,12 +162,22 @@ func speculative(fg core.FixedGraph, s grid.Stencil, cfg Config, opts *core.Solv
 	if maxRounds <= 0 {
 		maxRounds = defaultMaxRounds
 	}
+	par := min(opts.Par(), len(tl.Tiles))
+	bufs := acquireBufs(len(tl.Tiles), s.Len(), max(par, 1))
+	defer releaseBufs(bufs)
 	r := &run{
 		g: fg, s: s, tl: tl, cfg: cfg, opts: opts,
-		inj: opts.Faults(),
-		ev:  opts.EventLog(),
-		c:   core.NewColoring(s.Len()),
-		par: min(opts.Par(), len(tl.Tiles)),
+		inj:  opts.Faults(),
+		ev:   opts.EventLog(),
+		c:    core.NewColoring(s.Len()),
+		par:  par,
+		bufs: bufs,
+		mark: bufs.mark,
+	}
+	// The uniform-weight verdict, computed once per solve: it routes
+	// every placement of this run onto the packed free-map kernel.
+	if w, ok := core.UniformWeight(fg); ok {
+		r.uniW = w
 	}
 
 	r.ev.Speculation(len(tl.Tiles), r.par, cfg.SpeculateBlind)
@@ -205,6 +216,12 @@ type run struct {
 	ev  *obsv.EventSink
 	c   core.Coloring
 	par int
+	// uniW is the uniform-weight verdict for this solve (0 when weights
+	// are mixed): > 0 routes placements onto core.LowestFitUniform.
+	uniW int64
+	// bufs holds the arena-pooled per-solve buffers; released by
+	// speculative when the solve returns.
+	bufs *solveBufs
 	// seqRepair records that the guaranteed sequential repair pass
 	// engaged, so the fallback counter is bumped once per solve.
 	seqRepair bool
@@ -233,6 +250,9 @@ type scratch struct {
 	verts      []int
 	placements int64
 	probes     int64
+	// steals counts tile-range steals this worker performed; flushed
+	// into the Steals metric alongside the placement counters.
+	steals int64
 	// m is the solve metrics bundle (nil when disabled); per-placement
 	// histogram observations go straight in, counters flush in bulk.
 	m *obsv.SolveMetrics
@@ -243,14 +263,23 @@ type scratch struct {
 	lane int
 }
 
-// newScratch builds a worker scratch carrying the run's metrics bundle,
-// a fresh counter shard, and — when tracing — a fresh trace lane.
+// newScratch acquires a worker scratch from the arena, wiring the
+// run's metrics bundle, a fresh counter shard, and — when tracing — a
+// fresh trace lane. Counterpart of release.
 func (r *run) newScratch() *scratch {
-	return &scratch{
-		m:     r.opts.Meters(),
-		shard: int(r.workerSeq.Add(1)),
-		lane:  r.opts.Tracer().Lane(),
-	}
+	w := scratchPool.Get().(*scratch)
+	w.m = r.opts.Meters()
+	w.shard = int(r.workerSeq.Add(1))
+	w.lane = r.opts.Tracer().Lane()
+	return w
+}
+
+// release flushes a worker scratch's counters and returns it to the
+// arena; the grown verts buffer stays warm for the next worker.
+func (r *run) release(w *scratch) {
+	r.flush(w)
+	w.m = nil
+	scratchPool.Put(w)
 }
 
 // Gather modes of the placement kernel: which neighbors a placement is
@@ -306,13 +335,29 @@ func (r *run) place(w *scratch, v, ownTile, mode int) int64 {
 	if w.m != nil {
 		w.m.OccLen.ObserveInt(int64(m))
 	}
-	return core.LowestFit(w.occ[:m], g.Weight(v))
+	wv := g.Weight(v)
+	// Kernel dispatch, same ladder as core.FitScratch: packed free-map
+	// scan when the solve-wide uniform verdict holds (and no hand-built
+	// start broke the multiple-of-w invariant), sort-free streaming scan
+	// otherwise — occupancy here is at most MaxFixedDegree entries, well
+	// inside the streaming kernel's sweet spot.
+	if r.uniW > 0 {
+		if s, ok := core.LowestFitUniform(w.occ[:m], wv); ok {
+			return s
+		}
+	}
+	return core.LowestFitStream(w.occ[:m], wv)
 }
 
 // forEach runs fn(worker-scratch, i) for i in [0, n) on r.par
-// goroutines, claiming indices from an atomic counter. The first error
+// goroutines under the work-stealing tile scheduler (steal.go): worker
+// k starts on the contiguous range [k·n/par, (k+1)·n/par) — consecutive
+// indices follow the space-filling tile order, so a worker's tiles
+// share halo rows — and a worker that drains its range steals half of
+// a victim's remainder instead of idling. The first error
 // (cancellation, recovered worker panic) stops all workers promptly;
-// scratch counters are flushed into the stats sink on return.
+// scratch counters (including steal counts) are flushed into the stats
+// sink on return.
 //
 // Worker panics are contained here: each call runs under a recover that
 // converts the panic into a *core.SolveError (keeping the injection
@@ -322,7 +367,7 @@ func (r *run) forEach(n int, fn func(w *scratch, i int) error) error {
 	par := min(r.par, n)
 	if par <= 1 {
 		w := r.newScratch()
-		defer r.flush(w)
+		defer r.release(w)
 		for i := 0; i < n; i++ {
 			if err := r.contain(w, i, fn); err != nil {
 				return err
@@ -330,8 +375,18 @@ func (r *run) forEach(n int, fn func(w *scratch, i int) error) error {
 		}
 		return nil
 	}
+	qs := r.bufs.queues[:par]
+	chunk, rem := n/par, n%par
+	lo := 0
+	for k := 0; k < par; k++ {
+		hi := lo + chunk
+		if k < rem {
+			hi++
+		}
+		qs[k].reset(lo, hi)
+		lo = hi
+	}
 	var (
-		next    atomic.Int64
 		stop    atomic.Bool
 		wg      sync.WaitGroup
 		errOnce sync.Once
@@ -339,14 +394,17 @@ func (r *run) forEach(n int, fn func(w *scratch, i int) error) error {
 	)
 	for k := 0; k < par; k++ {
 		wg.Add(1)
-		go func() {
+		go func(k int) {
 			defer wg.Done()
 			w := r.newScratch()
-			defer r.flush(w)
+			defer r.release(w)
 			for !stop.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+				i, ok := qs[k].pop()
+				if !ok {
+					if !r.steal(qs, k, w) {
+						return // every deque empty: done
+					}
+					continue
 				}
 				if err := r.contain(w, i, fn); err != nil {
 					errOnce.Do(func() { first = err })
@@ -354,7 +412,7 @@ func (r *run) forEach(n int, fn func(w *scratch, i int) error) error {
 					return
 				}
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
 	return first
@@ -381,12 +439,13 @@ func (r *run) flush(w *scratch) {
 	if w.m != nil {
 		w.m.Vertices.AddShard(w.shard, w.placements)
 		w.m.Probes.AddShard(w.shard, w.probes)
+		w.m.Steals.AddShard(w.shard, w.steals)
 	}
 	if sink := r.opts.Sink(); sink != nil {
 		sink.AddPlacements(w.placements)
 		sink.AddProbes(w.probes)
 	}
-	w.placements, w.probes = 0, 0
+	w.placements, w.probes, w.steals = 0, 0, 0
 }
 
 // tileOrder fills w.verts with tile t's cells in the configured
@@ -394,13 +453,16 @@ func (r *run) flush(w *scratch) {
 func (r *run) tileOrder(w *scratch, t grid.Tile) []int {
 	w.verts = t.AppendVertices(w.verts[:0])
 	if r.cfg.Order == OrderWeightDesc {
-		g, verts := r.g, w.verts
-		sort.Slice(verts, func(a, b int) bool {
-			wa, wb := g.Weight(verts[a]), g.Weight(verts[b])
-			if wa != wb {
-				return wa > wb
+		// slices.SortFunc, not sort.Slice: the generic sort moves
+		// elements directly instead of through a reflect-based swapper,
+		// allocates nothing, and inlines the comparator. Pinned by
+		// TestTileOrderNoAllocs.
+		g := r.g
+		slices.SortFunc(w.verts, func(a, b int) int {
+			if wa, wb := g.Weight(a), g.Weight(b); wa != wb {
+				return cmp.Compare(wb, wa) // heavier first
 			}
-			return verts[a] < verts[b]
+			return cmp.Compare(a, b) // ties by vertex id
 		})
 	}
 	return w.verts
@@ -507,6 +569,15 @@ func (r *run) detect(losersByTile [][]int) (total int, err error) {
 	return total, nil
 }
 
+// tileGroup is one repair round's loser set for a single tile. The
+// whole group is recolored sequentially by one worker (in ascending
+// vertex-id order), so a parallel round can never create an intra-tile
+// conflict and the round's outcome depends only on the conflict set.
+type tileGroup struct {
+	tile  int
+	verts []int
+}
+
 // fixpoint drives the detect/recolor loop until no cross-tile conflict
 // remains. Parallel repair rounds recolor the losers of each tile
 // sequentially within the tile (one worker per tile group) so no new
@@ -519,14 +590,14 @@ func (r *run) detect(losersByTile [][]int) (total int, err error) {
 func (r *run) fixpoint(sp *obsv.Span, maxRounds int) error {
 	tl, start := r.tl, r.c.Start
 	meters := r.opts.Meters()
-	r.boundary = make([][]int, len(tl.Tiles))
+	r.boundary = r.bufs.boundary
 	if err := r.forEach(len(tl.Tiles), func(_ *scratch, i int) error {
-		r.boundary[i] = tl.AppendBoundary(tl.Tiles[i], nil)
+		r.boundary[i] = tl.AppendBoundary(tl.Tiles[i], r.boundary[i][:0])
 		return nil
 	}); err != nil {
 		return err
 	}
-	losersByTile := make([][]int, len(tl.Tiles))
+	losersByTile := r.bufs.losers
 	prev := -1
 	for round := 0; ; round++ {
 		var rsp, ssp *obsv.Span
@@ -561,24 +632,18 @@ func (r *run) fixpoint(sp *obsv.Span, maxRounds int) error {
 		// placements see losers as uncolored rather than as their stale
 		// conflicting intervals; stamp them so skipMarked placements can
 		// tell this round's losers apart from settled vertices.
-		if r.mark == nil {
-			r.mark = make([]int32, r.s.Len())
-		}
 		r.round++
-		type group struct {
-			tile  int
-			verts []int
-		}
-		groups := make([]group, 0, len(losersByTile))
+		groups := r.bufs.groups[:0]
 		for i, verts := range losersByTile {
 			for _, v := range verts {
 				atomic.StoreInt64(&start[v], core.Unset)
 				r.mark[v] = r.round
 			}
 			if len(verts) > 0 {
-				groups = append(groups, group{tile: tl.Tiles[i].ID, verts: verts})
+				groups = append(groups, tileGroup{tile: tl.Tiles[i].ID, verts: verts})
 			}
 		}
+		r.bufs.groups = groups
 		csp := rsp.Child("recolor")
 		if sequential {
 			w := r.newScratch()
@@ -587,7 +652,7 @@ func (r *run) fixpoint(sp *obsv.Span, maxRounds int) error {
 					atomic.StoreInt64(&start[v], r.place(w, v, g.tile, readAll))
 				}
 			}
-			r.flush(w)
+			r.release(w)
 		} else if err := r.forEach(len(groups), func(w *scratch, i int) error {
 			if err := r.opts.Err(); err != nil {
 				return err
@@ -644,7 +709,7 @@ func (r *run) complete() error {
 	if w == nil {
 		return nil
 	}
-	r.flush(w)
+	r.release(w)
 	if m := r.opts.Meters(); m != nil {
 		m.Repairs.Add(n)
 	}
