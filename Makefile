@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check doclint linkcheck fuzz-short bench bench-kernel benchdiff-smoke serve-smoke microbench experiments experiments-full stkde cover clean
+.PHONY: all build vet test race check cache-check doclint linkcheck fuzz-short bench bench-kernel benchdiff-smoke serve-smoke microbench experiments experiments-full stkde cover clean
 
 all: build check
 
@@ -45,9 +45,18 @@ fuzz-short:
 # every build; the slog nil-sink and injector nil-path AllocsPerRun pins
 # run here too), a short fuzz pass over every fuzz target, the
 # documentation lints, the benchdiff self-diff smoke, the solve-daemon
-# boot smoke, and the quick kernel-benchmark tier (bench-kernel). It is
-# part of the default `make` flow via `all`.
-check: vet race fuzz-short doclint linkcheck benchdiff-smoke serve-smoke bench-kernel
+# boot smoke, the quick kernel-benchmark tier (bench-kernel), and the
+# result-cache tier (cache-check). It is part of the default `make`
+# flow via `all`.
+check: vet race fuzz-short doclint linkcheck benchdiff-smoke serve-smoke bench-kernel cache-check
+
+# cache-check is the result-cache tier: the content-addressed cache and
+# its persistence stores under the race detector (the concurrent
+# get/put/evict storm runs here), plus the dispatch-layer guards — the
+# nil-cache path stays 0 allocs/op and a cache hit skips the solver.
+cache-check:
+	$(GO) test -race ./internal/resultcache/...
+	$(GO) test -run 'TestNilCacheLookupNoAllocs|TestRunCacheHitSkipsSolver' ./internal/heuristics
 
 # bench-kernel is the quick placement-kernel tier: the PlaceLowest
 # micro-benchmarks (interval, streaming, and packed free-map paths —

@@ -16,6 +16,7 @@
 //	ivc -alg BDP -in g.ivc -http :6060 -linger 30s   serve /metrics, /debug/vars, /debug/pprof
 //	ivc -alg best -in g.ivc -log events.jsonl        structured solve-event log (JSON lines)
 //	ivc -serve :8080 -par 4                          solve daemon: POST /solve job API
+//	ivc -serve :8080 -cache-dir /var/cache/ivc       daemon with a restart-surviving result cache
 //
 // Instances use the text format of internal/grid: a header line
 // "ivc2d X Y" or "ivc3d X Y Z" followed by the cell weights.
@@ -65,6 +66,8 @@ func run() (err error) {
 	serveAddr := flag.String("serve", "", "run as a solve daemon: job API (POST /solve, GET /jobs/{id}, GET /healthz) plus /metrics and /debug/ on this address")
 	linger := flag.Duration("linger", 0, "with -http, keep serving this long after the solve finishes")
 	partial := flag.Bool("partial", false, "with -alg best and -timeout (or ^C), report the best completed algorithm instead of aborting")
+	cacheDir := flag.String("cache-dir", "", "with -serve, persist cached solve results under this directory (survives restarts)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "with -serve, byte budget for the in-memory result cache (0 = 64 MiB default, negative disables caching)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the solve (or stop the daemon) through the
@@ -75,7 +78,7 @@ func run() (err error) {
 	defer stopSignals()
 
 	if *serveAddr != "" {
-		return runServe(ctx, *serveAddr, *logPath, *par, *timeout)
+		return runServe(ctx, *serveAddr, *logPath, *par, *timeout, *cacheDir, *cacheBytes)
 	}
 
 	if *cpuProfile != "" {

@@ -20,7 +20,7 @@ import (
 // deadlines, and a second ^C terminates immediately (the signal
 // handler unregisters on the first).
 func runServe(ctx context.Context, addr, logPath string, workers int,
-	defaultTimeout time.Duration) error {
+	defaultTimeout time.Duration, cacheDir string, cacheBytes int64) error {
 
 	reg := obsv.NewRegistry()
 	reg.Publish("ivc")
@@ -37,13 +37,18 @@ func runServe(ctx context.Context, addr, logPath string, workers int,
 		events = obsv.NewJSONEventSink(f)
 	}
 
-	srv := service.New(service.Config{
+	srv, err := service.New(service.Config{
 		Workers:        workers,
 		DefaultTimeout: defaultTimeout,
 		Registry:       reg,
 		Events:         events,
 		Sampler:        obsv.NewSampler(reg, 0),
+		CacheBytes:     cacheBytes,
+		CacheDir:       cacheDir,
 	})
+	if err != nil {
+		return err
+	}
 	top := http.NewServeMux()
 	top.Handle("/debug/", http.DefaultServeMux) // expvar + pprof
 	top.Handle("/", srv.Handler())

@@ -203,7 +203,10 @@ func run() error {
 		// Last, after the figure and scaling suites: the steal-scheduler
 		// sweep churns the heap, and running it earlier would skew the
 		// Fig* numbers relative to how older snapshots measured them.
-		return benchSteal(ctx, rep, sm, events)
+		if err := benchSteal(ctx, rep, sm, events); err != nil {
+			return err
+		}
+		return benchCacheHit(ctx, rep, size2, sm)
 	}()
 	if errors.Is(err, errInterrupted) {
 		rep.Interrupted = true
@@ -422,6 +425,50 @@ func benchSteal(ctx context.Context, rep *Report, sm *stencilivc.SolveMetrics, e
 		r := record(rep, fmt.Sprintf("StealSched2D/%dx%d-par%d", dim, dim, par), br)
 		r.MaxColor, r.Par = mc, par
 	}
+	return nil
+}
+
+// benchCacheHit measures a warm content-addressed cache hit on a
+// size×size instance: one full fingerprint pass over the weight vector
+// plus the LRU lookup and the deep copy of the memoized coloring. The
+// gap between this row and the same-size solve rows is exactly what the
+// service's default-on result cache saves on repeated instances.
+func benchCacheHit(ctx context.Context, rep *Report, size int, sm *stencilivc.SolveMetrics) error {
+	if err := checkpoint(ctx); err != nil {
+		return err
+	}
+	g := grid.MustGrid2D(size, size)
+	rng := rand.New(rand.NewSource(5))
+	for v := range g.W {
+		g.W[v] = rng.Int63n(9) + 1
+	}
+	opts := &stencilivc.SolveOptions{Metrics: sm}
+	opts.Cache = stencilivc.NewResultCache(stencilivc.ResultCacheConfig{})
+	// Warm the cache: the first solve runs for real and is memoized.
+	warm, err := stencilivc.Solve(stencilivc.GLL, g, opts)
+	if err != nil {
+		return err
+	}
+	var mc int64
+	var solveErr error
+	br := measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c, err := stencilivc.Solve(stencilivc.GLL, g, opts)
+			if err != nil {
+				solveErr = err
+				b.FailNow()
+			}
+			mc = c.MaxColor(g)
+		}
+	})
+	if solveErr != nil {
+		return solveErr
+	}
+	if mc != warm.MaxColor(g) {
+		return fmt.Errorf("cache hit drifted from the solved maxcolor: %d vs %d", mc, warm.MaxColor(g))
+	}
+	r := record(rep, fmt.Sprintf("CacheHit/%dx%d", size, size), br)
+	r.MaxColor = mc
 	return nil
 }
 

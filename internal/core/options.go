@@ -74,6 +74,16 @@ type SolveOptions struct {
 	// site at zero cost. See internal/chaos for the deterministic,
 	// seeded implementation.
 	Injector Injector
+	// Cache, when non-nil, is the content-addressed result cache
+	// heuristics.Run consults before dispatching an algorithm: a hit
+	// returns the memoized coloring without running the solver (no solve
+	// span, no solve counters — the cache records its own hit/miss
+	// families), and every completed solve is stored back under its
+	// instance fingerprint. A nil Cache — the default — costs one pointer
+	// compare per solve and allocates nothing. Set it only to a non-nil
+	// implementation: a typed-nil pointer wrapped in the interface would
+	// defeat the nil check. See internal/resultcache.
+	Cache SolveCache
 	// Tenant names the principal this solve is running on behalf of. The
 	// solvers never read it; the service layer's multi-tenant scheduler
 	// sets it so fairness accounting, shed decisions, and service.* events
@@ -192,6 +202,16 @@ func (o *SolveOptions) Fault(site FaultSite) bool {
 	return o.Injector.Inject(site)
 }
 
+// ResultCache returns the solve-result cache, or nil when no receiver
+// or no cache is configured — a single pointer compare, so the uncached
+// path costs nothing.
+func (o *SolveOptions) ResultCache() SolveCache {
+	if o == nil {
+		return nil
+	}
+	return o.Cache
+}
+
 // Partial reports whether the caller asked for best-so-far results on
 // cancellation (PartialOnCancel); nil receivers report false.
 func (o *SolveOptions) Partial() bool {
@@ -234,7 +254,7 @@ func (o *SolveOptions) WithDeadlineContext() (*SolveOptions, context.CancelFunc)
 
 // WithPhase returns a shallow copy of o whose nested phases record under
 // sp. The copy shares every sink (Ctx, Stats, Trace, Metrics, Events,
-// Sampler, Injector) with o, so the
+// Sampler, Injector, Cache) with o, so the
 // dispatcher can scope a solve's span without disturbing concurrent
 // users of the original options. A nil o with a nil sp stays nil.
 func (o *SolveOptions) WithPhase(sp *obsv.Span) *SolveOptions {

@@ -164,6 +164,13 @@ func All() []Algorithm {
 // solve so GC pauses and scheduler stalls during it land in the
 // registry.
 //
+// When SolveOptions.Cache is set, Run first consults the
+// content-addressed result cache: a hit returns the memoized coloring
+// immediately — no solver span, no solve counters, no sampler session;
+// the cache's own resultcache_* families and cache.* events record the
+// hit — and every completed solve is stored back under its instance
+// fingerprint. A nil cache costs one pointer compare.
+//
 // Run is also the pipeline's panic boundary: a panic anywhere inside
 // the algorithm (a solver bug, or a fault injector's induced crash that
 // escaped the solver's own containment) is recovered into a typed
@@ -187,6 +194,15 @@ func Run(alg Algorithm, s grid.Stencil, opts *core.SolveOptions) (core.Coloring,
 	defer stopDeadline()
 	if err := opts.Err(); err != nil {
 		return core.Coloring{}, err
+	}
+	// The content-addressed result cache short-circuits the whole solve:
+	// a hit returns the memoized coloring with no solver span, no solve
+	// counters, and no sampler session — the cache records its own
+	// hit/miss/store families. The nil-cache path is one pointer compare
+	// (pinned allocation-free by TestNilCacheLookupNoAllocs).
+	cached, ckey, cacheHit := lookupCached(opts.ResultCache(), alg, s, opts)
+	if cacheHit {
+		return cached, nil
 	}
 	if sampler := opts.RuntimeSampler(); sampler != nil {
 		sampler.Start()
@@ -230,7 +246,24 @@ func Run(alg Algorithm, s grid.Stencil, opts *core.SolveOptions) (core.Coloring,
 			m.MaxColor.Set(mc)
 		}
 	}
+	if cc := opts.ResultCache(); cc != nil {
+		// Only complete, error-free solves are memoized; partial results
+		// and typed failures never enter the cache. The key was computed
+		// by the miss above, so the instance is not re-fingerprinted.
+		cc.Store(ckey, string(alg), opts.TenantID(), s, c, dt)
+	}
 	return c, nil
+}
+
+// lookupCached consults the result cache when one is configured. It is
+// a separate function so the disabled path — by far the common one —
+// can be pinned allocation-free in isolation: with a nil cache it is a
+// single comparison and returns zero values.
+func lookupCached(cc core.SolveCache, alg Algorithm, s grid.Stencil, opts *core.SolveOptions) (core.Coloring, core.CacheKey, bool) {
+	if cc == nil {
+		return core.Coloring{}, core.CacheKey{}, false
+	}
+	return cc.Lookup(string(alg), s, opts.TenantID())
 }
 
 // contained invokes the algorithm's solver under a recover that

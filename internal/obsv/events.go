@@ -220,6 +220,66 @@ func (e *EventSink) ServiceDone(tenant, id string, maxColor int64, wall time.Dur
 		slog.Bool("partial", partial))
 }
 
+// CacheHit records a solve lookup answered from the result cache: the
+// algorithm, the tenant the hit is accounted to, the instance key (hex),
+// and which tier answered ("memory" or "store").
+func (e *EventSink) CacheHit(alg, tenant, key, tier string) {
+	if e == nil {
+		return
+	}
+	e.log("cache.hit",
+		slog.String("alg", alg),
+		slog.String("tenant", tenant),
+		slog.String("key", key),
+		slog.String("tier", tier))
+}
+
+// CacheMiss records a solve lookup that found no usable cache entry and
+// fell through to a real solve.
+func (e *EventSink) CacheMiss(alg, tenant, key string) {
+	if e == nil {
+		return
+	}
+	e.log("cache.miss",
+		slog.String("alg", alg),
+		slog.String("tenant", tenant),
+		slog.String("key", key))
+}
+
+// CacheStore records a completed solve written into the result cache,
+// with the in-memory payload size of the new entry.
+func (e *EventSink) CacheStore(alg, key string, bytes int64) {
+	if e == nil {
+		return
+	}
+	e.log("cache.store",
+		slog.String("alg", alg),
+		slog.String("key", key),
+		slog.Int64("bytes", bytes))
+}
+
+// CacheEvict records an entry dropped from the in-memory cache tier by
+// the byte-budget LRU policy.
+func (e *EventSink) CacheEvict(key string, bytes int64) {
+	if e == nil {
+		return
+	}
+	e.log("cache.evict",
+		slog.String("key", key),
+		slog.Int64("bytes", bytes))
+}
+
+// CacheCorrupt records a persisted cache entry that failed decode,
+// checksum, or re-validation on read and was degraded to a miss.
+func (e *EventSink) CacheCorrupt(key, reason string) {
+	if e == nil {
+		return
+	}
+	e.log("cache.corrupt",
+		slog.String("key", key),
+		slog.String("reason", reason))
+}
+
 // Event records an ad-hoc event for call sites outside the fixed solver
 // taxonomy (CLIs, experiments). Unlike the fixed methods it takes
 // variadic attrs, so guard hot paths with a nil check before building

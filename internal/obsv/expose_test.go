@@ -43,6 +43,9 @@ func fixtureRegistry() *Registry {
 	// pins the queue-depth gauge, batch-size and wait histograms, and the
 	// tenant admit/shed counters the daemon exposes.
 	NewServiceMetrics(r)
+	// The result-cache families, so the resultcache_* names and help
+	// strings EXPERIMENTS.md references stay pinned.
+	NewCacheMetrics(r)
 	return r
 }
 

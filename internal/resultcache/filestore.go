@@ -1,0 +1,212 @@
+package resultcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"stencilivc/internal/core"
+)
+
+// FileStore is the file-backed persistence tier: one checksummed entry
+// file per key inside a single directory, with the directory itself as
+// the index. Writes are crash-safe by construction:
+//
+//  1. the encoded entry is written to a private temp file in the same
+//     directory and fsync'd,
+//  2. the temp file is renamed onto "<keyhex>.entry" — atomic on POSIX,
+//     so readers see either the old entry or the new one, never a torn
+//     mix,
+//  3. the directory is fsync'd, committing the index update (the
+//     rename) before Put returns.
+//
+// A crash between the temp write and the rename leaves only a stray
+// "*.tmp" file, which Open sweeps; the index (the set of *.entry names)
+// is consistent at every instant. Torn or bit-rotted payloads that
+// somehow survive (a crash mid-sector, disk corruption) are caught by
+// the per-entry SHA-256 at Get and reported as ErrCorrupt — which the
+// cache degrades to a re-solve.
+//
+// All methods are safe for concurrent use within one process. The store
+// does not arbitrate between processes; give each daemon its own
+// directory.
+type FileStore struct {
+	dir string
+	mu  sync.Mutex
+	// index mirrors the directory listing so Len and existence checks
+	// need no syscalls; it is rebuilt at Open and maintained by Put and
+	// Delete.
+	index map[core.CacheKey]struct{}
+}
+
+var _ Store = (*FileStore)(nil)
+
+// entrySuffix names committed entry files; anything else in the
+// directory is ignored (and "*.tmp" is swept at Open).
+const entrySuffix = ".entry"
+
+// OpenFileStore opens (creating if needed) the file store rooted at
+// dir, sweeping stray temp files from interrupted writes and rebuilding
+// the index from the committed entry files.
+func OpenFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: open store: %w", err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("resultcache: open store: %w", err)
+	}
+	fs := &FileStore{dir: dir, index: map[core.CacheKey]struct{}{}}
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") {
+			// A crash between temp write and rename left this behind; it
+			// was never part of the index, so removing it is safe.
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		hex, ok := strings.CutSuffix(name, entrySuffix)
+		if !ok {
+			continue
+		}
+		key, err := parseKeyHex(hex)
+		if err != nil {
+			continue // foreign file; not ours to index or delete
+		}
+		fs.index[key] = struct{}{}
+	}
+	return fs, nil
+}
+
+// parseKeyHex decodes the 64-hex-digit entry file stem.
+func parseKeyHex(s string) (core.CacheKey, error) {
+	var key core.CacheKey
+	if len(s) != 2*len(key) {
+		return key, fmt.Errorf("resultcache: key hex length %d", len(s))
+	}
+	for i := range key {
+		hi, ok1 := hexVal(s[2*i])
+		lo, ok2 := hexVal(s[2*i+1])
+		if !ok1 || !ok2 {
+			return key, fmt.Errorf("resultcache: bad key hex %q", s)
+		}
+		key[i] = hi<<4 | lo
+	}
+	return key, nil
+}
+
+// hexVal decodes one lowercase hex digit.
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// path returns the committed file name of key.
+func (fs *FileStore) path(key core.CacheKey) string {
+	return filepath.Join(fs.dir, key.String()+entrySuffix)
+}
+
+// Get reads and verifies the entry stored under key. Decode and
+// checksum failures wrap ErrCorrupt.
+func (fs *FileStore) Get(key core.CacheKey) (Entry, bool, error) {
+	fs.mu.Lock()
+	_, ok := fs.index[key]
+	fs.mu.Unlock()
+	if !ok {
+		return Entry{}, false, nil
+	}
+	data, err := os.ReadFile(fs.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Entry{}, false, nil
+		}
+		return Entry{}, false, fmt.Errorf("resultcache: read %s: %w", key, err)
+	}
+	e, err := decodeEntry(data)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	return e, true, nil
+}
+
+// Put stores e under key via the write-temp, fsync, rename, fsync-dir
+// sequence described on FileStore.
+func (fs *FileStore) Put(key core.CacheKey, e Entry) error {
+	data := encodeEntry(e)
+	tmp, err := os.CreateTemp(fs.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("resultcache: put %s: %w", key, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("resultcache: put %s: %w", key, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("resultcache: put %s: %w", key, err)
+	}
+	if err := os.Rename(tmpName, fs.path(key)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("resultcache: put %s: %w", key, err)
+	}
+	if err := fs.syncDir(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	fs.index[key] = struct{}{}
+	fs.mu.Unlock()
+	return nil
+}
+
+// Delete removes the entry stored under key.
+func (fs *FileStore) Delete(key core.CacheKey) error {
+	fs.mu.Lock()
+	delete(fs.index, key)
+	fs.mu.Unlock()
+	if err := os.Remove(fs.path(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("resultcache: delete %s: %w", key, err)
+	}
+	return fs.syncDir()
+}
+
+// Len reports the number of committed entries.
+func (fs *FileStore) Len() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.index)
+}
+
+// Dir returns the store's root directory.
+func (fs *FileStore) Dir() string { return fs.dir }
+
+// syncDir fsyncs the store directory, committing renames and removals
+// — the index mutation — to stable storage.
+func (fs *FileStore) syncDir() error {
+	d, err := os.Open(fs.dir)
+	if err != nil {
+		return fmt.Errorf("resultcache: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("resultcache: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,8 @@
+// Package memstore is the map-backed reference implementation of
+// resultcache.Store: the in-memory tier that lets every cache test —
+// and a single-process daemon that wants persistence semantics without
+// a disk — run with no infrastructure. It honors the full Store
+// contract (deep copies on both sides of the interface, safety for
+// concurrent use); what it cannot provide is durability, which is
+// resultcache.FileStore's job.
+package memstore

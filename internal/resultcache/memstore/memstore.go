@@ -1,0 +1,58 @@
+package memstore
+
+import (
+	"sync"
+
+	"stencilivc/internal/core"
+	"stencilivc/internal/resultcache"
+)
+
+// Store is a concurrency-safe, unbounded in-memory resultcache.Store.
+// The zero value is not usable; build one with New.
+type Store struct {
+	mu sync.RWMutex
+	m  map[core.CacheKey]resultcache.Entry
+}
+
+var _ resultcache.Store = (*Store)(nil)
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{m: map[core.CacheKey]resultcache.Entry{}}
+}
+
+// Get returns a deep copy of the entry stored under key.
+func (s *Store) Get(key core.CacheKey) (resultcache.Entry, bool, error) {
+	s.mu.RLock()
+	e, ok := s.m[key]
+	s.mu.RUnlock()
+	if !ok {
+		return resultcache.Entry{}, false, nil
+	}
+	e.Starts = append([]int64(nil), e.Starts...)
+	return e, true, nil
+}
+
+// Put stores a deep copy of e under key.
+func (s *Store) Put(key core.CacheKey, e resultcache.Entry) error {
+	e.Starts = append([]int64(nil), e.Starts...)
+	s.mu.Lock()
+	s.m[key] = e
+	s.mu.Unlock()
+	return nil
+}
+
+// Delete removes the entry stored under key.
+func (s *Store) Delete(key core.CacheKey) error {
+	s.mu.Lock()
+	delete(s.m, key)
+	s.mu.Unlock()
+	return nil
+}
+
+// Len reports the number of stored entries.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"stencilivc/internal/obsv"
+	"stencilivc/internal/resultcache"
 )
 
 // maxRequestBytes bounds a POST /solve body; a 27-pt instance of a few
@@ -119,6 +120,9 @@ type healthz struct {
 	Busy int64 `json:"busy"`
 	// Tenants is the per-tenant scheduler accounting.
 	Tenants []TenantStats `json:"tenants"`
+	// Cache is the result cache's accounting — totals plus per-tenant
+	// hit/miss counts — or null when caching is disabled.
+	Cache *resultcache.Stats `json:"cache,omitempty"`
 }
 
 // handleHealthz is GET /healthz: liveness plus scheduler accounting.
@@ -129,11 +133,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 	}
 	s.closeMu.RUnlock()
-	writeJSON(w, http.StatusOK, healthz{
+	h := healthz{
 		Status:  status,
 		UptimeS: time.Since(s.started).Seconds(),
 		Workers: s.cfg.Workers,
 		Busy:    s.busy.Load(),
 		Tenants: s.Stats(),
-	})
+	}
+	if s.cache != nil {
+		cs := s.cache.Snapshot()
+		h.Cache = &cs
+	}
+	writeJSON(w, http.StatusOK, h)
 }

@@ -12,6 +12,7 @@ import (
 	"stencilivc/internal/core"
 	"stencilivc/internal/heuristics"
 	"stencilivc/internal/obsv"
+	"stencilivc/internal/resultcache"
 )
 
 // Config parameterizes a Server. The zero value is serviceable: defaults
@@ -52,6 +53,20 @@ type Config struct {
 	// JobRetention bounds how many finished jobs GET /jobs/{id} can
 	// still see; <= 0 picks 1024.
 	JobRetention int
+	// CacheBytes bounds the in-memory tier of the content-addressed
+	// result cache. The cache is on by default: 0 picks 64 MiB, and a
+	// negative value disables caching entirely. Identical instances
+	// (same dims, same weights, same algorithm) then answer from the
+	// cache instead of re-running the solver.
+	CacheBytes int64
+	// CacheDir, when non-empty, backs the result cache with a
+	// resultcache.FileStore rooted at this directory, so cached
+	// colorings survive daemon restarts. Ignored when CacheBytes < 0.
+	CacheDir string
+	// CacheStore, when non-nil, is the cache's persistence tier; it
+	// takes precedence over CacheDir (tests inject memstore here).
+	// Ignored when CacheBytes < 0.
+	CacheStore resultcache.Store
 }
 
 // withDefaults returns cfg with zero fields filled in.
@@ -88,6 +103,9 @@ type Server struct {
 	solveM  *obsv.SolveMetrics
 	batcher *batcher
 	sched   *scheduler
+	// cache memoizes completed solves by instance fingerprint; nil when
+	// Config.CacheBytes < 0 disabled it.
+	cache *resultcache.Cache
 
 	// baseCtx parents every job's solve context; baseCancel aborts
 	// in-flight solves on a forced stop.
@@ -111,8 +129,10 @@ type Server struct {
 }
 
 // New assembles and starts a server: the batcher loop and the worker
-// pool run on return. Close stops them.
-func New(cfg Config) *Server {
+// pool run on return. Close stops them. The only constructor failure is
+// an unusable cache directory (Config.CacheDir); every other field has
+// a serviceable default.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -127,13 +147,30 @@ func New(cfg Config) *Server {
 		s.metrics = obsv.NewServiceMetrics(nil)
 		s.solveM = obsv.NewSolveMetrics(nil)
 	}
+	if cfg.CacheBytes >= 0 {
+		store := cfg.CacheStore
+		if store == nil && cfg.CacheDir != "" {
+			fstore, err := resultcache.OpenFileStore(cfg.CacheDir)
+			if err != nil {
+				return nil, err
+			}
+			store = fstore
+		}
+		s.cache = resultcache.New(resultcache.Config{
+			MaxBytes: cfg.CacheBytes, // 0 picks the cache's 64 MiB default
+			Store:    store,
+			Metrics:  obsv.NewCacheMetrics(cfg.Registry),
+			Events:   cfg.Events,
+			Injector: cfg.Injector,
+		})
+	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.sched = newScheduler(cfg.MaxQueuedPerTenant, cfg.TenantWeights, s.metrics, s.runBatch)
 	s.batcher = newBatcher(cfg.BatchSize, cfg.BatchWait, cfg.QueueBuffer,
 		s.sched.enqueue, s.metrics, cfg.Events, cfg.Injector)
 	s.batcher.start()
 	s.sched.start(cfg.Workers)
-	return s
+	return s, nil
 }
 
 // Close drains the daemon: new admissions shed, the batcher flushes its
@@ -295,6 +332,11 @@ func (s *Server) runJob(j *job) {
 		Injector:        s.cfg.Injector,
 		PartialOnCancel: true,
 	}
+	if s.cache != nil {
+		// Assigned only when non-nil: a typed-nil *resultcache.Cache in
+		// the interface field would defeat Run's pointer check.
+		opts.Cache = s.cache
+	}
 	var (
 		c      core.Coloring
 		winner heuristics.Algorithm
@@ -349,3 +391,7 @@ func (s *Server) shedExpired(j *job, queueWait time.Duration) {
 // Stats exposes the scheduler's per-tenant accounting (for /healthz and
 // the fairness tests).
 func (s *Server) Stats() []TenantStats { return s.sched.stats() }
+
+// Cache returns the server's result cache, or nil when Config.CacheBytes
+// disabled it (for /healthz and the cache e2e tests).
+func (s *Server) Cache() *resultcache.Cache { return s.cache }
