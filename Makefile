@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check cache-check doclint linkcheck fuzz-short bench bench-kernel benchdiff-smoke serve-smoke microbench experiments experiments-full stkde cover clean
+.PHONY: all build vet test race check cache-check dist-check doclint linkcheck fuzz-short bench bench-kernel benchdiff-smoke serve-smoke microbench experiments experiments-full stkde cover clean
 
 all: build check
 
@@ -45,10 +45,10 @@ fuzz-short:
 # every build; the slog nil-sink and injector nil-path AllocsPerRun pins
 # run here too), a short fuzz pass over every fuzz target, the
 # documentation lints, the benchdiff self-diff smoke, the solve-daemon
-# boot smoke, the quick kernel-benchmark tier (bench-kernel), and the
-# result-cache tier (cache-check). It is part of the default `make`
-# flow via `all`.
-check: vet race fuzz-short doclint linkcheck benchdiff-smoke serve-smoke bench-kernel cache-check
+# boot smoke, the quick kernel-benchmark tier (bench-kernel), the
+# result-cache tier (cache-check), and the distributed-solver tier
+# (dist-check). It is part of the default `make` flow via `all`.
+check: vet race fuzz-short doclint linkcheck benchdiff-smoke serve-smoke bench-kernel cache-check dist-check
 
 # cache-check is the result-cache tier: the content-addressed cache and
 # its persistence stores under the race detector (the concurrent
@@ -57,6 +57,18 @@ check: vet race fuzz-short doclint linkcheck benchdiff-smoke serve-smoke bench-k
 cache-check:
 	$(GO) test -race ./internal/resultcache/...
 	$(GO) test -run 'TestNilCacheLookupNoAllocs|TestRunCacheHitSkipsSolver' ./internal/heuristics
+
+# dist-check is the distributed-solver tier (DESIGN.md §16): the whole
+# internal/distsolve suite under the race detector — no-fault
+# byte-identity against the sequential greedy across shard counts,
+# orders, and dimensions, plus the seeded chaos-storm matrix (message
+# drop/dup/delay alone and combined with a permanent single-shard
+# crash), every-shard-crash and total-message-loss escalation, and the
+# round-budget fallback. The reachability test in internal/chaos keeps
+# the distsolve fault sites honest and rides along.
+dist-check:
+	$(GO) test -race -count=1 ./internal/distsolve/
+	$(GO) test -race -run TestEveryRegisteredSiteIsReachable ./internal/chaos
 
 # bench-kernel is the quick placement-kernel tier: the PlaceLowest
 # micro-benchmarks (interval, streaming, and packed free-map paths —

@@ -47,6 +47,18 @@ func NewResultCache(cfg ResultCacheConfig) *ResultCache { return resultcache.New
 // atomic write-temp-rename, so cached colorings survive restarts.
 func NewFileCacheStore(dir string) (CacheStore, error) { return resultcache.OpenFileStore(dir) }
 
+// CacheSweepPolicy bounds a file-backed cache store's on-disk growth at
+// open; see resultcache.SweepPolicy for the eviction and expiry rules.
+type CacheSweepPolicy = resultcache.SweepPolicy
+
+// NewFileCacheStoreSwept opens a file-backed cache store like
+// NewFileCacheStore and applies pol: entries past their TTL (and
+// corrupt payloads found along the way) are reclaimed first, then the
+// oldest entries beyond MaxEntries.
+func NewFileCacheStoreSwept(dir string, pol CacheSweepPolicy) (CacheStore, error) {
+	return resultcache.OpenFileStoreSwept(dir, pol)
+}
+
 // NewMemCacheStore returns the in-memory reference CacheStore — the
 // persistence-tier semantics without a disk.
 func NewMemCacheStore() CacheStore { return memstore.New() }

@@ -80,15 +80,31 @@ noise policy:
 	}
 	d := diff(oldSnap, newSnap, threshold)
 	fmt.Print(render(d, oldSnap, newSnap))
-	if len(d.Deltas) == 0 {
+	switch exitStatus(d) {
+	case 2:
 		fmt.Fprintln(os.Stderr, "benchdiff: the snapshots share no benchmark names; nothing was compared, so nothing was gated")
 		os.Exit(2)
-	}
-	if len(d.Regressions) > 0 {
+	case 1:
 		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n",
 			len(d.Regressions), threshold*100)
 		os.Exit(1)
 	}
+}
+
+// exitStatus is the gate decision: 2 when the snapshots shared no
+// benchmark names (a gate that matched nothing must not pass), 1 when
+// any shared benchmark regressed, 0 otherwise. Added and removed rows
+// are deliberately absent from the rule — a one-sided row is
+// informational, so a PR introducing a new benchmark (or retiring one)
+// gates only on the rows both snapshots measured.
+func exitStatus(d *Diff) int {
+	if len(d.Deltas) == 0 {
+		return 2
+	}
+	if len(d.Regressions) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // parseThreshold reads the -threshold argument: a bare fraction

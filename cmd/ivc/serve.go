@@ -19,8 +19,18 @@ import (
 // service.ShutdownGrace, queued jobs run to completion under their
 // deadlines, and a second ^C terminates immediately (the signal
 // handler unregisters on the first).
+// cacheConfig carries the -cache-* flags into runServe: where the
+// persistent tier lives, the in-memory byte budget, and the open-time
+// sweep bounds (entry cap, age expiry) of the persistent tier.
+type cacheConfig struct {
+	dir        string
+	bytes      int64
+	maxEntries int
+	ttl        time.Duration
+}
+
 func runServe(ctx context.Context, addr, logPath string, workers int,
-	defaultTimeout time.Duration, cacheDir string, cacheBytes int64) error {
+	defaultTimeout time.Duration, cache cacheConfig) error {
 
 	reg := obsv.NewRegistry()
 	reg.Publish("ivc")
@@ -38,13 +48,15 @@ func runServe(ctx context.Context, addr, logPath string, workers int,
 	}
 
 	srv, err := service.New(service.Config{
-		Workers:        workers,
-		DefaultTimeout: defaultTimeout,
-		Registry:       reg,
-		Events:         events,
-		Sampler:        obsv.NewSampler(reg, 0),
-		CacheBytes:     cacheBytes,
-		CacheDir:       cacheDir,
+		Workers:         workers,
+		DefaultTimeout:  defaultTimeout,
+		Registry:        reg,
+		Events:          events,
+		Sampler:         obsv.NewSampler(reg, 0),
+		CacheBytes:      cache.bytes,
+		CacheDir:        cache.dir,
+		CacheMaxEntries: cache.maxEntries,
+		CacheTTL:        cache.ttl,
 	})
 	if err != nil {
 		return err

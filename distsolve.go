@@ -1,0 +1,39 @@
+// Distributed-solve surface: the fault-tolerant sharded solver of
+// internal/distsolve, re-exported for users of the public API. The
+// solver splits one stencil across N simulated nodes, reconciles shard
+// boundaries with a retrying halo-exchange protocol, survives seeded
+// message loss, duplication, delay, and shard crashes, and always
+// returns the exact bytes of the sequential greedy over the same
+// global order. DESIGN.md §16 specifies the protocol.
+
+package stencilivc
+
+import (
+	"stencilivc/internal/distsolve"
+	"stencilivc/internal/parallel"
+)
+
+type (
+	// DistConfig tunes the distributed sharded solver (shard count,
+	// global order, round/retry budgets, chaos delay, transport
+	// override). The zero value is a valid default configuration.
+	DistConfig = distsolve.Config
+	// DistOrder is the global visit order of a distributed solve.
+	DistOrder = parallel.Order
+)
+
+// The distributed solver's global visit orders.
+const (
+	// DistOrderLine sweeps line by line (GLL order).
+	DistOrderLine = parallel.OrderLine
+	// DistOrderWeightDesc sweeps by non-increasing weight (GLF order).
+	DistOrderWeightDesc = parallel.OrderWeightDesc
+)
+
+// DistSolve colors s on cfg.Shards simulated nodes with the
+// fault-tolerant halo-exchange protocol. The result is byte-identical
+// to the sequential greedy over the same order — on fault-free runs and
+// under injected storms alike.
+func DistSolve(s Stencil, cfg DistConfig, opts *SolveOptions) (Coloring, error) {
+	return distsolve.Solve(s, cfg, opts)
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The fault-site registry. Site names used to live only as scattered
+// string constants in the packages that consult them; a storm config
+// that typoed a name silently configured a site nobody visits. Every
+// package that owns instrumented code now registers its sites (with a
+// one-line description) in an init function, so tooling can enumerate
+// the full failure surface, chaos.MustSite can reject unknown names,
+// and a reachability test can assert every registered site is actually
+// consulted by the subsystem that claims it. See DESIGN.md §11 for the
+// failure model and internal/chaos/doc.go for the rendered table.
+
+// RegisteredSite is one entry of the fault-site registry: the site name
+// and a one-line description of where it fires and what the fault does.
+type RegisteredSite struct {
+	// Site is the registered site name, e.g. "pgreedy/worker-stall".
+	Site FaultSite
+	// Doc describes where the site is consulted and what firing does.
+	Doc string
+}
+
+var siteReg = struct {
+	sync.Mutex
+	m map[FaultSite]string
+}{m: map[FaultSite]string{}}
+
+// RegisterFaultSite records a fault site in the global registry; the
+// packages that own instrumented code call it from init. Registering
+// the same name twice panics — duplicate names would make schedules
+// ambiguous.
+func RegisterFaultSite(site FaultSite, doc string) {
+	siteReg.Lock()
+	defer siteReg.Unlock()
+	if _, dup := siteReg.m[site]; dup {
+		panic(fmt.Sprintf("core: fault site %q registered twice", site))
+	}
+	siteReg.m[site] = doc
+}
+
+// KnownFaultSite reports whether site has been registered (by a package
+// linked into this binary — the registry only sees imported packages).
+func KnownFaultSite(site FaultSite) bool {
+	siteReg.Lock()
+	defer siteReg.Unlock()
+	_, ok := siteReg.m[site]
+	return ok
+}
+
+// FaultSites returns every registered site with its description, sorted
+// by name.
+func FaultSites() []RegisteredSite {
+	siteReg.Lock()
+	defer siteReg.Unlock()
+	out := make([]RegisteredSite, 0, len(siteReg.m))
+	for s, d := range siteReg.m {
+		out = append(out, RegisteredSite{Site: s, Doc: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}

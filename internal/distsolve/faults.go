@@ -1,0 +1,40 @@
+package distsolve
+
+import "stencilivc/internal/core"
+
+// The distributed solver's fault-injection sites. The first three are
+// consulted by ChanTransport once per message it is asked to deliver
+// (halo data and ACKs alike); the fourth is consulted by the
+// coordinator once per live original node per round, in node-id order,
+// so seeded crash schedules are deterministic.
+const (
+	// SiteMsgDrop fires per transport send; when it fires the message is
+	// silently lost. The sender's ACK-deadline retry must recover it.
+	SiteMsgDrop = core.FaultSite("distsolve/msg-drop")
+	// SiteMsgDup fires per transport send; when it fires the message is
+	// delivered twice. The receiver's sequence-number dedup must make
+	// the duplicate harmless (data is re-ACKed, never re-applied).
+	SiteMsgDup = core.FaultSite("distsolve/msg-dup")
+	// SiteMsgDelay fires per transport send; when it fires delivery is
+	// deferred by the configured delay, reordering it behind later
+	// traffic. Full-snapshot semantics plus sequence numbers make the
+	// stale arrival harmless.
+	SiteMsgDelay = core.FaultSite("distsolve/msg-delay")
+	// SiteShardCrash fires once per live original node per round, at the
+	// round barrier; when it fires the node's goroutine stops and its
+	// shard is re-homed onto a replacement that restarts the region from
+	// scratch. Re-homed shards are fenced: the site is never consulted
+	// for them again.
+	SiteShardCrash = core.FaultSite("distsolve/shard-crash")
+)
+
+func init() {
+	core.RegisterFaultSite(SiteMsgDrop,
+		"distsolve transport, per send: firing loses the message; the sender's ACK-deadline retry recovers it")
+	core.RegisterFaultSite(SiteMsgDup,
+		"distsolve transport, per send: firing delivers the message twice; sequence-number dedup re-ACKs without re-applying")
+	core.RegisterFaultSite(SiteMsgDelay,
+		"distsolve transport, per send: firing defers delivery, reordering the message behind later traffic")
+	core.RegisterFaultSite(SiteShardCrash,
+		"distsolve coordinator, per live original node per round: firing crashes the node; its shard is re-homed onto a replacement")
+}

@@ -1,0 +1,163 @@
+package distsolve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stencilivc/internal/core"
+	"stencilivc/internal/obsv"
+)
+
+// MsgKind discriminates the halo-exchange wire messages.
+type MsgKind uint8
+
+// The two message kinds of the round protocol.
+const (
+	// MsgData carries one full boundary snapshot from a shard to a
+	// neighboring shard, tagged with the round as its sequence number.
+	MsgData MsgKind = iota + 1
+	// MsgAck acknowledges a MsgData by echoing its sequence number. The
+	// receiver ACKs every data message — duplicates included — so a lost
+	// ACK is healed by the sender's retry provoking a fresh one.
+	MsgAck
+)
+
+// HaloCell is one boundary cell in a data snapshot: the global vertex
+// id and its current interval start. Weights travel with the instance,
+// not the messages — they are immutable input data every node holds.
+type HaloCell struct {
+	// V is the cell's global vertex id.
+	V int
+	// Start is the cell's interval start as of the snapshot.
+	Start int64
+}
+
+// Message is one halo-exchange protocol message.
+type Message struct {
+	// Kind is MsgData or MsgAck.
+	Kind MsgKind
+	// From and To are the sender and receiver node ids.
+	From, To int
+	// Seq is the sequence number: the round whose state the message
+	// carries (data) or acknowledges (ACK). Receivers apply a data
+	// message only when Seq exceeds the last applied sequence from that
+	// sender, which makes duplicates and reorders idempotent.
+	Seq int64
+	// Cells is the boundary snapshot (data messages only).
+	Cells []HaloCell
+}
+
+// Transport moves protocol messages between nodes. Send must never
+// block the caller indefinitely and may lose, duplicate, delay, or
+// reorder messages — the round protocol's sequence numbers, ACKs, and
+// retries are responsible for correctness on top of it. Recv returns
+// the receive channel a node drains; implementations must be safe for
+// concurrent Sends.
+type Transport interface {
+	// Send asks the transport to deliver m to m.To (best-effort).
+	Send(m Message)
+	// Recv returns node's inbox channel.
+	Recv(node int) <-chan Message
+}
+
+// inboxCap bounds each node's inbox. A full inbox drops the message —
+// counted like an injected drop — and the sender's retry recovers it,
+// so the bound degrades to latency, never deadlock (no Send blocks).
+const inboxCap = 1024
+
+// ChanTransport is the in-process reference Transport: one buffered
+// channel per node, with the distsolve/msg-* chaos sites consulted on
+// every send so seeded storms can lose, duplicate, and delay traffic
+// deterministically. Nodes re-homed after a crash are marked reliable:
+// their sends bypass the chaos sites entirely, the delivery guarantee
+// the recovery ladder leans on.
+type ChanTransport struct {
+	inboxes  []chan Message
+	reliable []atomic.Bool
+	inj      core.Injector
+	dm       *obsv.DistMetrics
+	delay    time.Duration
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// NewChanTransport builds a transport for nodes nodes, consulting inj
+// (nil = no faults) on each send and counting transport traffic into dm
+// (nil = disabled). delay is how long an injected msg-delay defers a
+// delivery.
+func NewChanTransport(nodes int, inj core.Injector, dm *obsv.DistMetrics, delay time.Duration) *ChanTransport {
+	if dm == nil {
+		dm = &obsv.DistMetrics{} // nil counters are no-ops
+	}
+	t := &ChanTransport{
+		inboxes:  make([]chan Message, nodes),
+		reliable: make([]atomic.Bool, nodes),
+		inj:      inj,
+		dm:       dm,
+		delay:    delay,
+	}
+	for i := range t.inboxes {
+		t.inboxes[i] = make(chan Message, inboxCap)
+	}
+	return t
+}
+
+// Recv returns node's inbox channel.
+func (t *ChanTransport) Recv(node int) <-chan Message { return t.inboxes[node] }
+
+// MarkReliable exempts all future sends from node from the chaos sites.
+// The coordinator calls it when re-homing a crashed or unresponsive
+// shard: a replacement node must be able to make progress no matter how
+// hostile the storm schedule is.
+func (t *ChanTransport) MarkReliable(node int) { t.reliable[node].Store(true) }
+
+// Send implements Transport: it consults the msg-drop / msg-dup /
+// msg-delay sites (unless the sender is marked reliable) and delivers
+// without ever blocking. Delayed deliveries run on their own
+// goroutines; Close waits for them.
+func (t *ChanTransport) Send(m Message) {
+	if t.closed.Load() {
+		return
+	}
+	if t.inj != nil && !t.reliable[m.From].Load() {
+		if t.inj.Inject(SiteMsgDrop) {
+			t.dm.MsgsDropped.Add(1)
+			return
+		}
+		if t.inj.Inject(SiteMsgDup) {
+			t.dm.MsgsDuplicated.Add(1)
+			t.deliver(m)
+		}
+		if t.inj.Inject(SiteMsgDelay) {
+			t.dm.MsgsDelayed.Add(1)
+			t.wg.Add(1)
+			go func() {
+				defer t.wg.Done()
+				time.Sleep(t.delay)
+				if !t.closed.Load() {
+					t.deliver(m)
+				}
+			}()
+			return
+		}
+	}
+	t.deliver(m)
+}
+
+// deliver enqueues m without blocking; a full inbox counts as a drop
+// (the sender's retry recovers it).
+func (t *ChanTransport) deliver(m Message) {
+	select {
+	case t.inboxes[m.To] <- m:
+	default:
+		t.dm.MsgsDropped.Add(1)
+	}
+}
+
+// Close stops the transport: subsequent sends are discarded and every
+// outstanding delayed delivery has finished when Close returns.
+func (t *ChanTransport) Close() {
+	t.closed.Store(true)
+	t.wg.Wait()
+}

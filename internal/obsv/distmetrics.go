@@ -1,0 +1,81 @@
+package obsv
+
+// DistMetrics bundles the distributed sharded solver's metric taxonomy
+// (internal/distsolve): the round protocol, the message-passing halo
+// exchange with its retry/dedup machinery, and the crash-recovery
+// ladder. It hangs off SolveMetrics.Dist so the existing
+// core.SolveOptions.Metrics plumbing carries it everywhere; like every
+// obsv bundle, a nil *DistMetrics (or nil fields) disables recording at
+// the cost of one nil check.
+type DistMetrics struct {
+	// Rounds counts completed compute/exchange/barrier rounds —
+	// distsolve_rounds_total.
+	Rounds *Counter
+	// MsgsSent counts halo data messages handed to the transport
+	// (first sends; retries count separately) — distsolve_msgs_sent_total.
+	MsgsSent *Counter
+	// MsgsRetried counts retransmissions after an ACK deadline expired —
+	// distsolve_msgs_retried_total.
+	MsgsRetried *Counter
+	// MsgsDropped counts messages the transport lost (injected drops and
+	// full-inbox drops alike) — distsolve_msgs_dropped_total.
+	MsgsDropped *Counter
+	// MsgsDuplicated counts injected duplicate deliveries —
+	// distsolve_msgs_duplicated_total.
+	MsgsDuplicated *Counter
+	// MsgsDelayed counts injected delayed deliveries —
+	// distsolve_msgs_delayed_total.
+	MsgsDelayed *Counter
+	// MsgsDeduped counts received data messages discarded by the
+	// sequence-number dedup (already-applied rounds; re-ACKed, never
+	// re-applied) — distsolve_msgs_deduped_total.
+	MsgsDeduped *Counter
+	// Acks counts ACK messages received by senders —
+	// distsolve_acks_total.
+	Acks *Counter
+	// HaloCells counts boundary cells applied into halo caches —
+	// distsolve_halo_cells_applied_total.
+	HaloCells *Counter
+	// ShardCrashes counts shard crashes induced by the shard-crash site —
+	// distsolve_shard_crashes_total.
+	ShardCrashes *Counter
+	// Rehomes counts shard regions re-homed onto a replacement node
+	// (after a crash or an unresponsive-peer escalation) —
+	// distsolve_shard_rehomes_total.
+	Rehomes *Counter
+	// Fallbacks counts distributed solves that abandoned the round
+	// protocol for the global sequential bedrock —
+	// distsolve_fallbacks_total.
+	Fallbacks *Counter
+}
+
+// NewDistMetrics registers the distributed-solver taxonomy in r and
+// returns the bundle; a nil registry yields disabled metrics.
+func NewDistMetrics(r *Registry) *DistMetrics {
+	return &DistMetrics{
+		Rounds: r.Counter("distsolve_rounds_total",
+			"Compute/exchange/barrier rounds completed by the distributed sharded solver."),
+		MsgsSent: r.Counter("distsolve_msgs_sent_total",
+			"Halo data messages handed to the transport (excluding retries)."),
+		MsgsRetried: r.Counter("distsolve_msgs_retried_total",
+			"Halo message retransmissions after an ACK deadline expired."),
+		MsgsDropped: r.Counter("distsolve_msgs_dropped_total",
+			"Messages lost by the transport (injected drops and full-inbox drops)."),
+		MsgsDuplicated: r.Counter("distsolve_msgs_duplicated_total",
+			"Injected duplicate message deliveries."),
+		MsgsDelayed: r.Counter("distsolve_msgs_delayed_total",
+			"Injected delayed message deliveries."),
+		MsgsDeduped: r.Counter("distsolve_msgs_deduped_total",
+			"Received data messages discarded by sequence-number dedup (re-ACKed, not re-applied)."),
+		Acks: r.Counter("distsolve_acks_total",
+			"ACK messages received by halo senders."),
+		HaloCells: r.Counter("distsolve_halo_cells_applied_total",
+			"Boundary cells applied into shard halo caches."),
+		ShardCrashes: r.Counter("distsolve_shard_crashes_total",
+			"Shard crashes induced by the distsolve/shard-crash site."),
+		Rehomes: r.Counter("distsolve_shard_rehomes_total",
+			"Shard regions re-homed onto a replacement node."),
+		Fallbacks: r.Counter("distsolve_fallbacks_total",
+			"Distributed solves that fell back to the global sequential bedrock."),
+	}
+}

@@ -40,6 +40,17 @@ const (
 	SiteRepairDrop = core.FaultSite("pgreedy/repair-drop")
 )
 
+func init() {
+	core.RegisterFaultSite(SiteWorkerStall,
+		"tile-parallel speculation, once per tile: a Stalling rule sleeps the worker, skewing halo read timing")
+	core.RegisterFaultSite(SiteWorkerPanic,
+		"tile-parallel speculation and repair groups: a Panicking rule crashes the worker; recovered into the sequential fallback")
+	core.RegisterFaultSite(SiteHaloRead,
+		"per speculative placement: firing blinds the placement to cross-tile neighbors (forced halo misread)")
+	core.RegisterFaultSite(SiteRepairDrop,
+		"per loser recolored by a parallel repair round: firing drops the update; the completion sweep re-places it")
+}
+
 // Order selects the tile-local visit order of the speculative phase.
 type Order int
 
@@ -240,16 +251,14 @@ type run struct {
 	workerSeq atomic.Int64
 }
 
-// scratch is the per-worker state: fixed-size neighbor and occupancy
-// arrays (kept in one heap object per worker so the placement kernel
-// allocates nothing per vertex) plus reusable buffers, counters, and
-// the worker's observability identity (trace lane, counter shard).
+// scratch is the per-worker state: the placement kernel with its
+// fixed-size neighbor and occupancy arrays (kept in one heap object per
+// worker so a placement allocates nothing) plus reusable buffers,
+// counters, and the worker's observability identity (trace lane,
+// counter shard).
 type scratch struct {
-	nb         [core.MaxFixedDegree]int
-	occ        [core.MaxFixedDegree]core.Interval
-	verts      []int
-	placements int64
-	probes     int64
+	pl    Placer
+	verts []int
 	// steals counts tile-range steals this worker performed; flushed
 	// into the Steals metric alongside the placement counters.
 	steals int64
@@ -268,6 +277,7 @@ type scratch struct {
 // fresh trace lane. Counterpart of release.
 func (r *run) newScratch() *scratch {
 	w := scratchPool.Get().(*scratch)
+	w.pl.Reset(r.g, r.uniW)
 	w.m = r.opts.Meters()
 	w.shard = int(r.workerSeq.Add(1))
 	w.lane = r.opts.Tracer().Lane()
@@ -305,10 +315,8 @@ const (
 // ownTile is v's tile id (used by the blindCross/skipMarked modes).
 func (r *run) place(w *scratch, v, ownTile, mode int) int64 {
 	g, start := r.g, r.c.Start
-	deg := g.NeighborsFixed(v, &w.nb)
-	m := 0
-	for t := 0; t < deg; t++ {
-		u := w.nb[t]
+	pl := &w.pl
+	for _, u := range pl.Begin(v) {
 		switch mode {
 		case blindCross:
 			if r.tl.TileOf(u) != ownTile {
@@ -319,34 +327,12 @@ func (r *run) place(w *scratch, v, ownTile, mode int) int64 {
 				continue
 			}
 		}
-		su := atomic.LoadInt64(&start[u])
-		if su == core.Unset {
-			continue
-		}
-		wu := g.Weight(u)
-		if wu <= 0 {
-			continue
-		}
-		w.occ[m] = core.Interval{Start: su, End: su + wu}
-		m++
+		pl.Observe(atomic.LoadInt64(&start[u]), g.Weight(u))
 	}
-	w.placements++
-	w.probes += int64(m)
 	if w.m != nil {
-		w.m.OccLen.ObserveInt(int64(m))
+		w.m.OccLen.ObserveInt(int64(pl.Observed()))
 	}
-	wv := g.Weight(v)
-	// Kernel dispatch, same ladder as core.FitScratch: packed free-map
-	// scan when the solve-wide uniform verdict holds (and no hand-built
-	// start broke the multiple-of-w invariant), sort-free streaming scan
-	// otherwise — occupancy here is at most MaxFixedDegree entries, well
-	// inside the streaming kernel's sweet spot.
-	if r.uniW > 0 {
-		if s, ok := core.LowestFitUniform(w.occ[:m], wv); ok {
-			return s
-		}
-	}
-	return core.LowestFitStream(w.occ[:m], wv)
+	return pl.Commit(g.Weight(v))
 }
 
 // forEach runs fn(worker-scratch, i) for i in [0, n) on r.par
@@ -437,15 +423,15 @@ func (r *run) contain(w *scratch, i int, fn func(w *scratch, i int) error) (err 
 // not contend).
 func (r *run) flush(w *scratch) {
 	if w.m != nil {
-		w.m.Vertices.AddShard(w.shard, w.placements)
-		w.m.Probes.AddShard(w.shard, w.probes)
+		w.m.Vertices.AddShard(w.shard, w.pl.Placements)
+		w.m.Probes.AddShard(w.shard, w.pl.Probes)
 		w.m.Steals.AddShard(w.shard, w.steals)
 	}
 	if sink := r.opts.Sink(); sink != nil {
-		sink.AddPlacements(w.placements)
-		sink.AddProbes(w.probes)
+		sink.AddPlacements(w.pl.Placements)
+		sink.AddProbes(w.pl.Probes)
 	}
-	w.placements, w.probes, w.steals = 0, 0, 0
+	w.pl.Placements, w.pl.Probes, w.steals = 0, 0, 0
 }
 
 // tileOrder fills w.verts with tile t's cells in the configured
@@ -534,9 +520,7 @@ func (r *run) detect(losersByTile [][]int) (total int, err error) {
 				continue
 			}
 			iv := core.Interval{Start: sv, End: sv + wv}
-			deg := g.NeighborsFixed(v, &w.nb)
-			for t := 0; t < deg; t++ {
-				u := w.nb[t]
+			for _, u := range w.pl.Begin(v) {
 				tu := tl.TileOf(u)
 				if tu == tid {
 					continue

@@ -19,6 +19,11 @@ import (
 // wrong answer.
 const SiteGetCorrupt = core.FaultSite("resultcache/get-corrupt")
 
+func init() {
+	core.RegisterFaultSite(SiteGetCorrupt,
+		"result-cache persistent-store read, once per returned entry: firing discards the entry as corrupt (degrades to re-solve)")
+}
+
 // Config parameterizes a Cache. The zero value is serviceable: a
 // memory-only cache with the default byte budget and every
 // observability sink disabled.

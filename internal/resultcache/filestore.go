@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"stencilivc/internal/core"
 )
@@ -39,6 +41,35 @@ type FileStore struct {
 	// need no syscalls; it is rebuilt at Open and maintained by Put and
 	// Delete.
 	index map[core.CacheKey]struct{}
+	swept SweepStats
+}
+
+// SweepPolicy bounds a FileStore's on-disk growth. The zero value
+// disables sweeping entirely (the historical OpenFileStore behavior).
+// Sweeping runs once, at open: a long-lived daemon bounds its cache
+// across restarts, and a bounded store can never grow without limit
+// between two opens by more than the process writes.
+type SweepPolicy struct {
+	// MaxEntries, when > 0, caps the number of committed entries kept at
+	// open; beyond it the oldest entries by file modification time are
+	// evicted first (LRU by mtime — Put rewrites an entry's file, so
+	// mtime tracks last write).
+	MaxEntries int
+	// TTL, when > 0, expires entries whose stored Prov.CreatedUnix is
+	// older than TTL at open. The TTL pass decodes each entry, so it
+	// also deletes entries whose payload no longer decodes or checksums
+	// (bit rot found at open instead of at first Get).
+	TTL time.Duration
+}
+
+// SweepStats reports what the open-time sweep removed.
+type SweepStats struct {
+	// Expired is the number of entries older than SweepPolicy.TTL.
+	Expired int
+	// Corrupt is the number of undecodable entries found by the TTL pass.
+	Corrupt int
+	// Evicted is the number of entries removed by the MaxEntries cap.
+	Evicted int
 }
 
 var _ Store = (*FileStore)(nil)
@@ -49,8 +80,18 @@ const entrySuffix = ".entry"
 
 // OpenFileStore opens (creating if needed) the file store rooted at
 // dir, sweeping stray temp files from interrupted writes and rebuilding
-// the index from the committed entry files.
+// the index from the committed entry files. Growth is unbounded; use
+// OpenFileStoreSwept to cap entries or expire old ones.
 func OpenFileStore(dir string) (*FileStore, error) {
+	return OpenFileStoreSwept(dir, SweepPolicy{})
+}
+
+// OpenFileStoreSwept opens the file store rooted at dir like
+// OpenFileStore and then applies pol: expired and corrupt entries go
+// first (the TTL pass), then the oldest survivors by mtime until the
+// MaxEntries cap holds. Sweep removals use the same fsync'd deletion
+// path as Delete, so a crash mid-sweep leaves a consistent index.
+func OpenFileStoreSwept(dir string, pol SweepPolicy) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("resultcache: open store: %w", err)
 	}
@@ -59,6 +100,11 @@ func OpenFileStore(dir string) (*FileStore, error) {
 		return nil, fmt.Errorf("resultcache: open store: %w", err)
 	}
 	fs := &FileStore{dir: dir, index: map[core.CacheKey]struct{}{}}
+	type stamped struct {
+		key   core.CacheKey
+		mtime time.Time
+	}
+	var entries []stamped
 	for _, de := range names {
 		name := de.Name()
 		if de.IsDir() {
@@ -79,8 +125,56 @@ func OpenFileStore(dir string) (*FileStore, error) {
 			continue // foreign file; not ours to index or delete
 		}
 		fs.index[key] = struct{}{}
+		if pol.MaxEntries > 0 || pol.TTL > 0 {
+			info, err := de.Info()
+			if err != nil {
+				continue
+			}
+			entries = append(entries, stamped{key: key, mtime: info.ModTime()})
+		}
+	}
+	if pol.TTL > 0 {
+		cutoff := time.Now().Add(-pol.TTL).Unix()
+		live := entries[:0]
+		for _, en := range entries {
+			e, ok, err := fs.Get(en.key)
+			switch {
+			case err != nil:
+				// Undecodable or checksum-failed payload: it would only ever
+				// produce ErrCorrupt at Get, so reclaim it now.
+				fs.swept.Corrupt++
+			case ok && e.Prov.CreatedUnix < cutoff:
+				fs.swept.Expired++
+			default:
+				live = append(live, en)
+				continue
+			}
+			if err := fs.Delete(en.key); err != nil {
+				return nil, err
+			}
+		}
+		entries = live
+	}
+	if pol.MaxEntries > 0 && len(entries) > pol.MaxEntries {
+		sort.Slice(entries, func(i, j int) bool {
+			return entries[i].mtime.Before(entries[j].mtime)
+		})
+		for _, en := range entries[:len(entries)-pol.MaxEntries] {
+			if err := fs.Delete(en.key); err != nil {
+				return nil, err
+			}
+			fs.swept.Evicted++
+		}
 	}
 	return fs, nil
+}
+
+// SweepReport returns what the open-time sweep removed (zero when the
+// store was opened without a policy).
+func (fs *FileStore) SweepReport() SweepStats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.swept
 }
 
 // parseKeyHex decodes the 64-hex-digit entry file stem.

@@ -22,3 +22,12 @@ const (
 	// SolveError, fails that job alone, and keeps serving.
 	SiteWorkerPanic = core.FaultSite("service/worker-panic")
 )
+
+func init() {
+	core.RegisterFaultSite(SiteEnqueueDrop,
+		"service admission, once per attempt: firing sheds the job as if the tenant queue were full")
+	core.RegisterFaultSite(SiteBatchStall,
+		"service batcher, once per flush: a Stalling rule delays pending batches toward their deadlines")
+	core.RegisterFaultSite(SiteWorkerPanic,
+		"service scheduler worker, once per job dispatch: a Panicking rule crashes the job; contained, the worker keeps serving")
+}

@@ -67,6 +67,14 @@ type Config struct {
 	// takes precedence over CacheDir (tests inject memstore here).
 	// Ignored when CacheBytes < 0.
 	CacheStore resultcache.Store
+	// CacheMaxEntries, when > 0, caps how many entries the CacheDir
+	// store keeps at open: the oldest by file modification time are
+	// evicted first. Ignored when CacheDir is unset.
+	CacheMaxEntries int
+	// CacheTTL, when > 0, expires CacheDir entries whose recorded
+	// creation time is older than this at open, and reclaims entries
+	// whose payload no longer decodes. Ignored when CacheDir is unset.
+	CacheTTL time.Duration
 }
 
 // withDefaults returns cfg with zero fields filled in.
@@ -150,7 +158,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheBytes >= 0 {
 		store := cfg.CacheStore
 		if store == nil && cfg.CacheDir != "" {
-			fstore, err := resultcache.OpenFileStore(cfg.CacheDir)
+			fstore, err := resultcache.OpenFileStoreSwept(cfg.CacheDir, resultcache.SweepPolicy{
+				MaxEntries: cfg.CacheMaxEntries,
+				TTL:        cfg.CacheTTL,
+			})
 			if err != nil {
 				return nil, err
 			}
