@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check cache-check dist-check doclint linkcheck fuzz-short bench bench-kernel benchdiff-smoke serve-smoke microbench experiments experiments-full stkde cover clean
+.PHONY: all build vet test race check cache-check dist-check trace-check doclint linkcheck fuzz-short bench bench-kernel benchdiff-smoke serve-smoke microbench experiments experiments-full stkde cover clean
 
 all: build check
 
@@ -46,9 +46,10 @@ fuzz-short:
 # run here too), a short fuzz pass over every fuzz target, the
 # documentation lints, the benchdiff self-diff smoke, the solve-daemon
 # boot smoke, the quick kernel-benchmark tier (bench-kernel), the
-# result-cache tier (cache-check), and the distributed-solver tier
-# (dist-check). It is part of the default `make` flow via `all`.
-check: vet race fuzz-short doclint linkcheck benchdiff-smoke serve-smoke bench-kernel cache-check dist-check
+# result-cache tier (cache-check), the distributed-solver tier
+# (dist-check), and the request-tracing tier (trace-check). It is part
+# of the default `make` flow via `all`.
+check: vet race fuzz-short doclint linkcheck benchdiff-smoke serve-smoke trace-check bench-kernel cache-check dist-check
 
 # cache-check is the result-cache tier: the content-addressed cache and
 # its persistence stores under the race detector (the concurrent
@@ -87,6 +88,19 @@ serve-smoke:
 	$(GO) build -o .smoke-ivc ./cmd/ivc
 	$(GO) run ./cmd/servesmoke -bin ./.smoke-ivc
 	rm -f .smoke-ivc
+
+# trace-check is the request-tracing tier (DESIGN.md §17): it boots the
+# daemon, submits one 9-pt job, and asserts the complete span tree —
+# admission → batch → schedule → solve — comes back from /debug/flight
+# by job id, plus a live /healthz p50 for the tenant. The in-process
+# half of the tier (flight span tree + stormed sharded solve under
+# -race, and the disabled-path 0-alloc pins) rides along.
+trace-check:
+	$(GO) build -o .smoke-ivc ./cmd/ivc
+	$(GO) run ./cmd/servesmoke -bin ./.smoke-ivc -flight
+	rm -f .smoke-ivc
+	$(GO) test -race -run 'TestServiceTraceSpanTree|TestServiceShardedStormFlightScrape' ./internal/service/
+	$(GO) test -run 'TestNilTraceCtxNoAllocs|TestFlightRecordNoAllocs' ./internal/heuristics ./internal/obsv
 
 # bench runs the committed performance suite (placement kernel, figure
 # runtimes, sequential-vs-parallel scaling) and writes machine-readable

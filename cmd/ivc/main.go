@@ -17,6 +17,7 @@
 //	ivc -alg best -in g.ivc -log events.jsonl        structured solve-event log (JSON lines)
 //	ivc -serve :8080 -par 4                          solve daemon: POST /solve job API
 //	ivc -serve :8080 -cache-dir /var/cache/ivc       daemon with a restart-surviving result cache
+//	ivc -serve :8080 -flight-entries 16384           bigger flight-recorder ring at /debug/flight
 //
 // Instances use the text format of internal/grid: a header line
 // "ivc2d X Y" or "ivc3d X Y Z" followed by the cell weights.
@@ -71,6 +72,7 @@ func run() (err error) {
 	cacheMaxEntries := flag.Int("cache-max-entries", 0, "with -serve and -cache-dir, cap persisted entries at open; oldest evicted first (0 = unbounded)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "with -serve and -cache-dir, expire persisted entries older than this at open (0 = never)")
 	shards := flag.Int("shards", 0, "if > 1, solve with the fault-tolerant distributed sharded solver on this many simulated nodes (GLF/PGLF sweep by weight, every other -alg line by line)")
+	flightEntries := flag.Int("flight-entries", 0, "with -serve or -http, size of the always-on flight-recorder ring served at /debug/flight (0 = 4096)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the solve (or stop the daemon) through the
@@ -82,7 +84,8 @@ func run() (err error) {
 
 	if *serveAddr != "" {
 		return runServe(ctx, *serveAddr, *logPath, *par, *timeout,
-			cacheConfig{dir: *cacheDir, bytes: *cacheBytes, maxEntries: *cacheMaxEntries, ttl: *cacheTTL})
+			cacheConfig{dir: *cacheDir, bytes: *cacheBytes, maxEntries: *cacheMaxEntries, ttl: *cacheTTL},
+			*flightEntries)
 	}
 
 	if *cpuProfile != "" {
@@ -135,7 +138,7 @@ func run() (err error) {
 		Stats:           &stencilivc.Stats{},
 		PartialOnCancel: *partial,
 	}
-	obsDone, err := setupObs(ctx, *tracePath, *httpAddr, *logPath, *linger, opts)
+	obsDone, err := setupObs(ctx, *tracePath, *httpAddr, *logPath, *linger, *flightEntries, opts)
 	if err != nil {
 		return err
 	}
@@ -234,7 +237,9 @@ func run() (err error) {
 // when -trace was given, a structured solve-event log when -log was
 // given, and a metrics registry — fed by both the solvers and a runtime
 // sampler — served over HTTP (with expvar and pprof riding on the
-// default mux) when -http was given. The
+// default mux) when -http was given. The -http path also arms a flight
+// recorder under a "cli" trace context and serves it at /debug/flight,
+// so even a one-shot solve leaves an inspectable span tree. The
 // returned finalizer writes the Chrome trace file, closes the event
 // log, keeps the HTTP
 // endpoints up for the -linger window (cut short by SIGINT/SIGTERM via
@@ -242,7 +247,7 @@ func run() (err error) {
 // /metrics scrape finishes instead of seeing a reset connection; run
 // defers it so every exit path flushes the trace.
 func setupObs(ctx context.Context, tracePath, httpAddr, logPath string, linger time.Duration,
-	opts *stencilivc.SolveOptions) (func() error, error) {
+	flightEntries int, opts *stencilivc.SolveOptions) (func() error, error) {
 
 	var tr *stencilivc.Trace
 	if tracePath != "" {
@@ -267,6 +272,9 @@ func setupObs(ctx context.Context, tracePath, httpAddr, logPath string, linger t
 		opts.Sampler = stencilivc.NewRuntimeSampler(reg, 0)
 		reg.Publish("ivc")
 		http.Handle("/metrics", stencilivc.MetricsHandler(reg))
+		rec := stencilivc.NewFlightRecorder(flightEntries, reg)
+		opts.TraceCtx = rec.NewContext("cli", "cli")
+		http.Handle("/debug/flight", stencilivc.FlightHandler(rec))
 		ln, err := service.Listen(httpAddr)
 		if err != nil {
 			return nil, err

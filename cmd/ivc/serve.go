@@ -30,7 +30,7 @@ type cacheConfig struct {
 }
 
 func runServe(ctx context.Context, addr, logPath string, workers int,
-	defaultTimeout time.Duration, cache cacheConfig) error {
+	defaultTimeout time.Duration, cache cacheConfig, flightEntries int) error {
 
 	reg := obsv.NewRegistry()
 	reg.Publish("ivc")
@@ -57,12 +57,16 @@ func runServe(ctx context.Context, addr, logPath string, workers int,
 		CacheDir:        cache.dir,
 		CacheMaxEntries: cache.maxEntries,
 		CacheTTL:        cache.ttl,
+		FlightEntries:   flightEntries,
 	})
 	if err != nil {
 		return err
 	}
 	top := http.NewServeMux()
 	top.Handle("/debug/", http.DefaultServeMux) // expvar + pprof
+	// More specific than the /debug/ catch-all: the flight recorder must
+	// win over the default mux, which knows nothing about it.
+	top.Handle("GET /debug/flight", obsv.FlightHandler(srv.Flight()))
 	top.Handle("/", srv.Handler())
 
 	ln, err := service.Listen(addr)

@@ -75,6 +75,21 @@ type GitInfo struct {
 	Dirty  bool   `json:"dirty,omitempty"`
 }
 
+// LatencySummary reports solve-latency quantiles interpolated from the
+// solver's solve_seconds histogram (obsv.Histogram.Quantile — the same
+// estimator behind the service's /healthz SLO surface), describing the
+// latency distribution across every solve the suite ran.
+type LatencySummary struct {
+	// Count is how many solves fed the histogram.
+	Count int64 `json:"count"`
+	// P50MS, P95MS, and P99MS are the quantiles in milliseconds.
+	P50MS float64 `json:"p50_ms"`
+	// P95MS is the 95th percentile.
+	P95MS float64 `json:"p95_ms"`
+	// P99MS is the 99th percentile.
+	P99MS float64 `json:"p99_ms"`
+}
+
 // Report is the top-level JSON document.
 type Report struct {
 	GeneratedUnix int64  `json:"generated_unix"`
@@ -91,8 +106,11 @@ type Report struct {
 	// run: GC pauses, scheduler latencies, heap and goroutine peaks —
 	// the measurement conditions behind the numbers.
 	Runtime     *stencilivc.RuntimeSummary `json:"runtime,omitempty"`
-	Interrupted bool                       `json:"interrupted,omitempty"`
-	Results     []Result                   `json:"results"`
+	// SolveLatency summarizes the solve_seconds histogram over the whole
+	// run (present with -metrics, which arms the solver metrics bundle).
+	SolveLatency *LatencySummary `json:"solve_latency,omitempty"`
+	Interrupted  bool            `json:"interrupted,omitempty"`
+	Results      []Result        `json:"results"`
 }
 
 // gitInfo shells out to git for commit/branch/dirty; best-effort — a
@@ -230,6 +248,18 @@ func run() error {
 		note("runtime: %d samples, %d GC cycles, %d pauses (total %.3fms, max %.3fms)",
 			sum.Samples, sum.GCCycles, sum.GCPauseCount,
 			sum.GCPauseTotalSeconds*1e3, sum.GCPauseMaxSeconds*1e3)
+	}
+	if sm != nil {
+		if n := sm.SolveSeconds.Count(); n > 0 {
+			rep.SolveLatency = &LatencySummary{
+				Count: n,
+				P50MS: sm.SolveSeconds.Quantile(0.5) * 1e3,
+				P95MS: sm.SolveSeconds.Quantile(0.95) * 1e3,
+				P99MS: sm.SolveSeconds.Quantile(0.99) * 1e3,
+			}
+			note("solve latency over %d solves: p50 %.3fms, p95 %.3fms, p99 %.3fms",
+				n, rep.SolveLatency.P50MS, rep.SolveLatency.P95MS, rep.SolveLatency.P99MS)
+		}
 	}
 	rep.WallSeconds = time.Since(start).Seconds()
 	if logFile != nil {

@@ -5,10 +5,17 @@
 // and verifies a clean SIGINT shutdown. Exit status 0 means the daemon
 // round-trips; any failure prints the reason and exits 1.
 //
+// With -flight it instead runs the request-tracing smoke behind `make
+// trace-check`: submit one 9-pt job, then assert its complete span tree
+// — admission → batch → schedule → solve — comes back from
+// GET /debug/flight by job id and that the tenant's /healthz p50 is
+// live.
+//
 // Usage:
 //
 //	go build -o .smoke-ivc ./cmd/ivc
 //	go run ./cmd/servesmoke -bin ./.smoke-ivc
+//	go run ./cmd/servesmoke -bin ./.smoke-ivc -flight
 package main
 
 import (
@@ -27,16 +34,21 @@ import (
 
 func main() {
 	bin := flag.String("bin", "./.smoke-ivc", "path to a prebuilt ivc binary")
+	flight := flag.Bool("flight", false, "run the request-tracing smoke (span tree on /debug/flight, live /healthz p50) instead of the default job-API smoke")
 	flag.Parse()
-	if err := run(*bin); err != nil {
+	if err := run(*bin, *flight); err != nil {
 		fmt.Fprintln(os.Stderr, "servesmoke:", err)
 		os.Exit(1)
 	}
-	fmt.Println("serve-smoke ok")
+	if *flight {
+		fmt.Println("trace-check ok")
+	} else {
+		fmt.Println("serve-smoke ok")
+	}
 }
 
 // run drives the whole smoke: boot, solve, scrape, shut down.
-func run(bin string) error {
+func run(bin string, flight bool) error {
 	cmd := exec.Command(bin, "-serve", "127.0.0.1:0", "-par", "2")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -54,23 +66,29 @@ func run(bin string) error {
 	}
 	go io.Copy(io.Discard, rest) // keep the daemon's stdout drained
 
-	if err := solve(base, "9-pt", map[string]any{
-		"tenant": "smoke", "alg": "best",
-		"x": 4, "y": 3, "weights": []int64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8},
-	}); err != nil {
-		return err
-	}
-	if err := solve(base, "27-pt", map[string]any{
-		"tenant": "smoke", "alg": "best",
-		"x": 3, "y": 2, "z": 2, "weights": []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
-	}); err != nil {
-		return err
-	}
-	if err := checkHealthz(base); err != nil {
-		return err
-	}
-	if err := checkMetrics(base); err != nil {
-		return err
+	if flight {
+		if err := checkFlight(base); err != nil {
+			return err
+		}
+	} else {
+		if err := solve(base, "9-pt", map[string]any{
+			"tenant": "smoke", "alg": "best",
+			"x": 4, "y": 3, "weights": []int64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8},
+		}); err != nil {
+			return err
+		}
+		if err := solve(base, "27-pt", map[string]any{
+			"tenant": "smoke", "alg": "best",
+			"x": 3, "y": 2, "z": 2, "weights": []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+		}); err != nil {
+			return err
+		}
+		if err := checkHealthz(base); err != nil {
+			return err
+		}
+		if err := checkMetrics(base); err != nil {
+			return err
+		}
 	}
 
 	if err := cmd.Process.Signal(os.Interrupt); err != nil {
@@ -176,6 +194,108 @@ func checkHealthz(base string) error {
 	return fmt.Errorf("healthz: smoke tenant missing from accounting")
 }
 
+// checkFlight is the `make trace-check` body: one synchronous 9-pt job,
+// then its span tree from GET /debug/flight and a live /healthz p50.
+func checkFlight(base string) error {
+	body, err := json.Marshal(map[string]any{
+		"tenant": "flight", "alg": "GLL",
+		"x": 4, "y": 3, "weights": []int64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8},
+	})
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Post(base+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("flight solve: %w", err)
+	}
+	var res struct {
+		ID      string `json:"id"`
+		Status  string `json:"status"`
+		TraceID string `json:"trace_id"`
+		Error   string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("flight solve: decode: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK || res.Status != "done" {
+		return fmt.Errorf("flight solve: status %d/%q (%s), want 200 done",
+			resp.StatusCode, res.Status, res.Error)
+	}
+	if len(res.TraceID) != 16 {
+		return fmt.Errorf("flight solve: trace id %q, want 16 hex digits", res.TraceID)
+	}
+
+	resp, err = http.Get(base + "/debug/flight?job=" + res.ID)
+	if err != nil {
+		return fmt.Errorf("debug/flight: %w", err)
+	}
+	defer resp.Body.Close()
+	var dump struct {
+		Records []struct {
+			Trace  string `json:"trace"`
+			Span   string `json:"span"`
+			Parent string `json:"parent"`
+			Kind   string `json:"kind"`
+			Name   string `json:"name"`
+		} `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return fmt.Errorf("debug/flight: decode: %w", err)
+	}
+	spans := map[string]struct{ span, parent string }{}
+	for _, r := range dump.Records {
+		if r.Trace != res.TraceID {
+			return fmt.Errorf("debug/flight: record %s carries trace %s, want %s", r.Name, r.Trace, res.TraceID)
+		}
+		if r.Kind == "span" {
+			spans[r.Name] = struct{ span, parent string }{r.Span, r.Parent}
+		}
+	}
+	adm, ok := spans["admission"]
+	if !ok || adm.parent != "" {
+		return fmt.Errorf("debug/flight: no root admission span (spans: %v)", spans)
+	}
+	for _, stage := range []string{"batch", "schedule", "solve"} {
+		sp, ok := spans[stage]
+		if !ok {
+			return fmt.Errorf("debug/flight: %s span missing from job %s's tree", stage, res.ID)
+		}
+		if sp.parent != adm.span {
+			return fmt.Errorf("debug/flight: %s span parent %s, want admission %s", stage, sp.parent, adm.span)
+		}
+	}
+	if sp, ok := spans["solve:GLL"]; !ok || sp.parent != spans["solve"].span {
+		return fmt.Errorf("debug/flight: solver span solve:GLL missing or detached (spans: %v)", spans)
+	}
+
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Tenants []struct {
+			Tenant string  `json:"tenant"`
+			P50MS  float64 `json:"p50_ms"`
+		} `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return fmt.Errorf("healthz: decode: %w", err)
+	}
+	for _, ts := range h.Tenants {
+		if ts.Tenant == "flight" {
+			if ts.P50MS <= 0 {
+				return fmt.Errorf("healthz: flight tenant p50_ms=%v, want > 0 after a solve", ts.P50MS)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("healthz: flight tenant missing from SLO accounting")
+}
+
 // checkMetrics scrapes /metrics and requires the service_* families
 // the daemon must export.
 func checkMetrics(base string) error {
@@ -198,6 +318,11 @@ func checkMetrics(base string) error {
 		"service_batches_total",
 		"service_tenant_admitted_total",
 		"service_tenant_shed_total",
+		"service_latency_queue_seconds",
+		"service_latency_solve_seconds",
+		"service_latency_total_seconds",
+		"flight_records_total",
+		"flight_entries",
 	} {
 		if !strings.Contains(text, family) {
 			return fmt.Errorf("metrics: family %s missing from /metrics", family)

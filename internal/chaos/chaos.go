@@ -26,10 +26,11 @@ import (
 type Injector struct {
 	seed uint64
 
-	mu     sync.Mutex // guards rules, events, and sealed during construction
+	mu     sync.Mutex // guards rules, events, flight, and sealed during construction
 	sealed bool       // set under mu; late rule edits panic
 	rules  map[core.FaultSite]*rule
 	events *obsv.EventSink
+	flight *obsv.FlightRecorder
 
 	// frozen is an immutable snapshot of the configuration (rules and
 	// event sink), published exactly once by sealOnce on the first
@@ -43,6 +44,7 @@ type Injector struct {
 type frozenConfig struct {
 	rules  map[core.FaultSite]*rule
 	events *obsv.EventSink
+	flight *obsv.FlightRecorder
 }
 
 // rule is the per-site schedule. Counter fields are atomic; the
@@ -90,7 +92,7 @@ func (in *Injector) seal() frozenConfig {
 		for s, r := range in.rules {
 			rules[s] = r
 		}
-		in.frozen = frozenConfig{rules: rules, events: in.events}
+		in.frozen = frozenConfig{rules: rules, events: in.events, flight: in.flight}
 		in.mu.Unlock()
 	})
 	return in.frozen
@@ -133,7 +135,8 @@ func (in *Injector) Stalling(site core.FaultSite, d time.Duration) *Injector {
 }
 
 // WithEvents makes every fault firing emit a fault.injected record on
-// sink (site plus visit number), so an event log shows injected faults
+// sink (site plus visit number, and the trace id when the faulted
+// operation carried one), so an event log shows injected faults
 // interleaved with the solve events they provoked. Like the rule
 // builders it must be called before the injector is handed to a solver;
 // a call after injection started panics.
@@ -147,8 +150,32 @@ func (in *Injector) WithEvents(sink *obsv.EventSink) *Injector {
 	return in
 }
 
+// WithFlight makes every fault firing additionally record a
+// fault.injected event in the flight recorder under the faulted
+// operation's trace id, so a storm's disruptions appear inline in the
+// /debug/flight dump of the request they hit. Untraced firings (trace
+// id 0) are not recorded — the flight recorder only retains
+// per-request records. Must be called before injection starts.
+func (in *Injector) WithFlight(rec *obsv.FlightRecorder) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.sealed {
+		panic("chaos: flight recorder attached after injection started")
+	}
+	in.flight = rec
+	return in
+}
+
 // Inject implements core.Injector. It is safe for concurrent use.
 func (in *Injector) Inject(site core.FaultSite) bool {
+	return in.InjectTraced(site, 0)
+}
+
+// InjectTraced implements core.TracedInjector: Inject with the visiting
+// operation's flight-recorder trace id, attributed on the fault.injected
+// event and — when WithFlight configured a recorder — recorded into the
+// request's flight trace. A zero trace behaves exactly like Inject.
+func (in *Injector) InjectTraced(site core.FaultSite, trace uint64) bool {
 	cfg := in.seal() // frozen snapshot: lock-free after first call
 	r := cfg.rules[site]
 	if r == nil {
@@ -175,7 +202,8 @@ func (in *Injector) Inject(site core.FaultSite) bool {
 	} else {
 		r.fires.Add(1)
 	}
-	cfg.events.FaultInjected(string(site), v)
+	cfg.events.FaultInjected(string(site), v, trace)
+	cfg.flight.RecordEvent(trace, "fault.injected", string(site), v)
 	if r.stall > 0 {
 		time.Sleep(r.stall)
 	}

@@ -36,6 +36,47 @@ func TestWithEvents(t *testing.T) {
 	}
 }
 
+// TestInjectTraced: a traced injection attributes the firing's
+// fault.injected event to the trace id and records it in an attached
+// flight recorder; untraced injections stay id-free and leave the
+// recorder empty.
+func TestInjectTraced(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obsv.NewFlightRecorder(64, nil)
+	in := New(1).EveryNth(siteA, 1, 0).
+		WithEvents(obsv.NewJSONEventSink(&buf)).WithFlight(rec)
+	if !in.InjectTraced(siteA, 0xfeed) {
+		t.Fatal("traced rule did not fire")
+	}
+	if !in.Inject(siteA) {
+		t.Fatal("untraced rule did not fire")
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d event lines %q, want 2", len(lines), buf.String())
+	}
+	var traced, plain map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &traced); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &plain); err != nil {
+		t.Fatal(err)
+	}
+	if traced["trace_id"] != obsv.FlightID(0xfeed) {
+		t.Errorf("traced firing trace_id = %v, want %s", traced["trace_id"], obsv.FlightID(0xfeed))
+	}
+	if _, ok := plain["trace_id"]; ok {
+		t.Errorf("untraced firing carries trace_id: %v", plain)
+	}
+	recs := rec.Snapshot(0xfeed, "", "", 0)
+	if len(recs) != 1 || recs[0].Name != "fault.injected" || recs[0].Detail != string(siteA) {
+		t.Fatalf("flight records for traced firing = %+v, want one fault.injected", recs)
+	}
+	if all := rec.Snapshot(0, "", "", 0); len(all) != 1 {
+		t.Fatalf("recorder holds %d records, want 1 (untraced firing must not record)", len(all))
+	}
+}
+
 // TestWithEventsSealed: attaching a sink after injection started would
 // race with lock-free Inject reads, so it panics like a post-seal rule
 // edit.

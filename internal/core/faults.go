@@ -37,6 +37,32 @@ type InjectorFunc func(FaultSite) bool
 // Inject calls f.
 func (f InjectorFunc) Inject(site FaultSite) bool { return f(site) }
 
+// TracedInjector is the optional extension an Injector implements when
+// it can attribute fired faults to the request that suffered them: the
+// trace id (a flight-recorder id, 0 when the operation is untraced)
+// rides along so fault.injected events and flight-recorder entries
+// correlate with the originating job. internal/chaos implements it;
+// call through InjectTraced so plain Injectors keep working.
+type TracedInjector interface {
+	Injector
+	// InjectTraced is Inject with the visiting operation's trace id.
+	InjectTraced(site FaultSite, trace uint64) bool
+}
+
+// InjectTraced consults inj at site on behalf of a traced operation: a
+// TracedInjector receives the trace id, any other Injector falls back
+// to plain Inject, and a nil injector never fires — so instrumented
+// sites carry attribution without caring which kind they hold.
+func InjectTraced(inj Injector, site FaultSite, trace uint64) bool {
+	if inj == nil {
+		return false
+	}
+	if ti, ok := inj.(TracedInjector); ok {
+		return ti.InjectTraced(site, trace)
+	}
+	return inj.Inject(site)
+}
+
 // InjectedPanic is the value a fault injector panics with when a site
 // is scheduled to crash. Recovery code (PanicToError) recognizes it and
 // records the originating site in the resulting SolveError, so a chaos

@@ -98,6 +98,14 @@ type SolveOptions struct {
 	// — can bound a solve without building the derived context itself.
 	// It composes with Ctx: whichever expires first cancels the solve.
 	Deadline time.Time
+	// TraceCtx, when non-nil, is the request's flight-recorder trace
+	// context: the trace id minted at service admission plus the span to
+	// parent new spans under. The registry dispatcher, the tile-parallel
+	// solvers, and the distributed solver record spans and events against
+	// it so one request's path through every layer shares a trace id in
+	// the flight recorder. A nil TraceCtx — the default — costs one
+	// pointer compare per instrumented site.
+	TraceCtx *obsv.TraceContext
 	// PartialOnCancel makes Portfolio/Best return the best coloring of
 	// the algorithms that completed before cancellation, tagged with the
 	// ErrPartial sentinel, instead of discarding completed work when the
@@ -202,6 +210,16 @@ func (o *SolveOptions) Fault(site FaultSite) bool {
 	return o.Injector.Inject(site)
 }
 
+// FlightCtx returns the flight-recorder trace context, or nil when no
+// receiver or no context is configured; all *obsv.TraceContext methods
+// are nil-receiver-safe.
+func (o *SolveOptions) FlightCtx() *obsv.TraceContext {
+	if o == nil {
+		return nil
+	}
+	return o.TraceCtx
+}
+
 // ResultCache returns the solve-result cache, or nil when no receiver
 // or no cache is configured — a single pointer compare, so the uncached
 // path costs nothing.
@@ -254,7 +272,7 @@ func (o *SolveOptions) WithDeadlineContext() (*SolveOptions, context.CancelFunc)
 
 // WithPhase returns a shallow copy of o whose nested phases record under
 // sp. The copy shares every sink (Ctx, Stats, Trace, Metrics, Events,
-// Sampler, Injector, Cache) with o, so the
+// Sampler, Injector, Cache, TraceCtx) with o, so the
 // dispatcher can scope a solve's span without disturbing concurrent
 // users of the original options. A nil o with a nil sp stays nil.
 func (o *SolveOptions) WithPhase(sp *obsv.Span) *SolveOptions {
@@ -283,8 +301,9 @@ func (o *SolveOptions) StartSpan(name string) *obsv.Span {
 }
 
 // StartPhase opens a named solver phase against every configured sink —
-// a span on the tracer and, on stop, an AddPhase record in the stats
-// sink — and returns the stop function, meant for defer:
+// a span on the tracer, a span in the flight recorder when a trace
+// context rides in the options, and, on stop, an AddPhase record in the
+// stats sink — and returns the stop function, meant for defer:
 //
 //	defer core.StartPhase(opts, "pgreedy/speculate")()
 //
@@ -293,12 +312,15 @@ func (o *SolveOptions) StartSpan(name string) *obsv.Span {
 func StartPhase(o *SolveOptions, name string) func() {
 	sp := o.StartSpan(name)
 	st := o.Sink()
-	if sp == nil && st == nil {
+	tc := o.FlightCtx()
+	if sp == nil && st == nil && tc == nil {
 		return noopStop
 	}
+	fs := tc.Start(name)
 	t0 := time.Now()
 	return func() {
 		sp.End()
+		fs.End()
 		st.AddPhase(name, time.Since(t0))
 	}
 }

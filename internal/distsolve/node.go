@@ -2,6 +2,7 @@ package distsolve
 
 import (
 	"cmp"
+	"fmt"
 	"slices"
 	"time"
 
@@ -79,6 +80,10 @@ type node struct {
 	// draining the same inbox concurrently.
 	done chan struct{}
 
+	// lane is the node's labeled row on the options tracer (0 when
+	// untraced), so shard activity renders named in the Chrome export.
+	lane int
+
 	pl parallel.Placer
 }
 
@@ -98,6 +103,10 @@ func newNode(id int, b box, s *sim) *node {
 		pl:          parallel.Placer{},
 	}
 	n.pl.Reset(s.g, s.uniW)
+	if s.otr != nil {
+		n.lane = s.otr.Lane()
+		s.otr.LabelLane(n.lane, fmt.Sprintf("dist/shard-%d", id))
+	}
 	n.verts = make([]int, 0, b.cells())
 	for k := b.Z0; k < b.Z1; k++ {
 		for j := b.Y0; j < b.Y1; j++ {
@@ -225,7 +234,8 @@ func (n *node) handle(m Message) (ack Message, isAck bool) {
 		} else {
 			n.s.dm.MsgsDeduped.Add(1)
 		}
-		n.s.tr.Send(Message{Kind: MsgAck, From: n.id, To: m.From, Seq: m.Seq})
+		n.s.tr.Send(Message{Kind: MsgAck, From: n.id, To: m.From, Seq: m.Seq,
+			Trace: m.Trace, Span: m.Span})
 	case MsgAck:
 		n.s.dm.Acks.Add(1)
 		return m, true
@@ -253,7 +263,8 @@ func (n *node) exchange(round int64) (failed []int) {
 	s := n.s
 	pending := make([]*pendingSend, 0, len(n.peers))
 	for _, q := range n.peers {
-		m := Message{Kind: MsgData, From: n.id, To: q, Seq: round, Cells: n.snapshot(q)}
+		m := Message{Kind: MsgData, From: n.id, To: q, Seq: round,
+			Trace: s.tc.TraceID(), Span: s.tc.SpanID(), Cells: n.snapshot(q)}
 		s.tr.Send(m)
 		s.dm.MsgsSent.Add(1)
 		pending = append(pending, &pendingSend{
@@ -300,6 +311,7 @@ func (n *node) exchange(round int64) (failed []int) {
 					}
 					s.tr.Send(p.msg)
 					s.dm.MsgsRetried.Add(1)
+					s.tc.Event("dist.retry", "", int64(p.msg.To))
 					p.backoff = min(p.backoff*2, s.backoffCap)
 					p.deadline = now.Add(p.backoff)
 				}
@@ -336,8 +348,10 @@ func (n *node) run() {
 		}
 		switch c.kind {
 		case ctrlRound:
+			sp := n.s.otr.StartLane(n.lane, "dist/round")
 			changed := n.sweep()
 			failed := n.exchange(c.round)
+			sp.End()
 			n.s.reports <- report{node: n.id, round: c.round, changed: changed, failed: failed}
 		case ctrlGather:
 			starts := make([]int64, len(n.verts))

@@ -85,6 +85,14 @@ type sim struct {
 	tr Transport
 	dm *obsv.DistMetrics
 	ev *obsv.EventSink
+	// tc is the originating request's flight-recorder context (nil when
+	// the solve is untraced): nodes stamp its ids into wire messages and
+	// the coordinator records round spans and crash/re-home/fallback
+	// events against it.
+	tc *obsv.TraceContext
+	// otr is the options tracer; each node claims a labeled lane on it so
+	// shard activity renders as named rows in the Chrome export.
+	otr *obsv.Trace
 
 	reports chan report
 	gather  chan dump
@@ -162,6 +170,8 @@ func solveSharded(fg core.FixedGraph, st grid.Stencil, cfg Config, opts *core.So
 		reports:      make(chan report, len(boxes)),
 		gather:       make(chan dump, len(boxes)),
 		ev:           opts.EventLog(),
+		tc:           opts.FlightCtx(),
+		otr:          opts.Tracer(),
 	}
 	if sm.retryTimeout <= 0 {
 		sm.retryTimeout = DefaultRetryTimeout
@@ -241,6 +251,7 @@ func solveSharded(fg core.FixedGraph, st grid.Stencil, cfg Config, opts *core.So
 		go h.n.run()
 		sm.dm.Rehomes.Add(1)
 		sm.ev.DistRehome(id, int(round), reason)
+		sm.tc.Event("dist.rehome", reason, int64(id))
 		return true
 	}
 
@@ -250,6 +261,7 @@ func solveSharded(fg core.FixedGraph, st grid.Stencil, cfg Config, opts *core.So
 			m.Fallbacks.Add(1)
 		}
 		sm.ev.Fallback("distsolve", reason)
+		sm.tc.Event("dist.fallback", reason, 0)
 		stopAll()
 		defer core.StartPhase(opts, "distsolve/seq-fallback")()
 		return core.GreedyColorOpts(st, orderFor(st, cfg), opts)
@@ -274,6 +286,10 @@ func solveSharded(fg core.FixedGraph, st grid.Stencil, cfg Config, opts *core.So
 			done()
 			return fallback("round budget exhausted before fixpoint")
 		}
+		// Each protocol round is one flight span (arg = round number), so
+		// a /debug/flight dump shows how a stormed request's rounds — and
+		// the crash/re-home/retry events inside them — spent their time.
+		rs := sm.tc.Start("dist/round")
 		// Crash injection: consulted once per live original node, in
 		// node-id order, at the barrier — deterministic for a seeded
 		// schedule. Re-homed shards are fenced.
@@ -282,9 +298,10 @@ func solveSharded(fg core.FixedGraph, st grid.Stencil, cfg Config, opts *core.So
 				if h.rehomed {
 					continue
 				}
-				if inj.Inject(SiteShardCrash) {
+				if core.InjectTraced(inj, SiteShardCrash, sm.tc.TraceID()) {
 					sm.dm.ShardCrashes.Add(1)
 					sm.ev.DistCrash(id, int(round))
+					sm.tc.Event("dist.crash", "", int64(id))
 					rehome(id, round, "crashed")
 				}
 			}
@@ -316,10 +333,12 @@ func solveSharded(fg core.FixedGraph, st grid.Stencil, cfg Config, opts *core.So
 				if rehome(r.node, round, "sends exhausted retries against a reliable peer") {
 					continue
 				}
+				rs.EndDetail("retry exhaustion", round)
 				done()
 				return fallback("retry exhaustion between re-homed shards")
 			}
 		}
+		rs.EndDetail("", round)
 		if changed == 0 && exchangeOK && prevOK {
 			break
 		}

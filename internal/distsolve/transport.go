@@ -44,6 +44,12 @@ type Message struct {
 	// message only when Seq exceeds the last applied sequence from that
 	// sender, which makes duplicates and reorders idempotent.
 	Seq int64
+	// Trace and Span carry the originating request's flight-recorder
+	// identity across the wire (0 when the solve is untraced), so chaos
+	// faults fired inside the transport — and the retries and re-homes
+	// they provoke — attach to the right trace in the recorder. ACKs echo
+	// the ids of the data message they acknowledge.
+	Trace, Span uint64
 	// Cells is the boundary snapshot (data messages only).
 	Cells []HaloCell
 }
@@ -121,15 +127,15 @@ func (t *ChanTransport) Send(m Message) {
 		return
 	}
 	if t.inj != nil && !t.reliable[m.From].Load() {
-		if t.inj.Inject(SiteMsgDrop) {
+		if core.InjectTraced(t.inj, SiteMsgDrop, m.Trace) {
 			t.dm.MsgsDropped.Add(1)
 			return
 		}
-		if t.inj.Inject(SiteMsgDup) {
+		if core.InjectTraced(t.inj, SiteMsgDup, m.Trace) {
 			t.dm.MsgsDuplicated.Add(1)
 			t.deliver(m)
 		}
-		if t.inj.Inject(SiteMsgDelay) {
+		if core.InjectTraced(t.inj, SiteMsgDelay, m.Trace) {
 			t.dm.MsgsDelayed.Add(1)
 			t.wg.Add(1)
 			go func() {

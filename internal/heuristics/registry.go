@@ -10,6 +10,7 @@ import (
 
 	"stencilivc/internal/core"
 	"stencilivc/internal/grid"
+	"stencilivc/internal/obsv"
 )
 
 // DimMask says which grid dimensionalities an algorithm accepts.
@@ -202,6 +203,7 @@ func Run(alg Algorithm, s grid.Stencil, opts *core.SolveOptions) (core.Coloring,
 	// (pinned allocation-free by TestNilCacheLookupNoAllocs).
 	cached, ckey, cacheHit := lookupCached(opts.ResultCache(), alg, s, opts)
 	if cacheHit {
+		opts.FlightCtx().Event("cache.hit", string(alg), 0)
 		return cached, nil
 	}
 	if sampler := opts.RuntimeSampler(); sampler != nil {
@@ -213,8 +215,10 @@ func Run(alg Algorithm, s grid.Stencil, opts *core.SolveOptions) (core.Coloring,
 	lane := 0
 	if tr != nil {
 		lane = tr.Lane()
+		tr.LabelLane(lane, name)
 	}
 	sp := tr.StartLane(lane, name)
+	fs := startFlight(opts, name)
 	m := opts.Meters()
 	var mallocs0 uint64
 	if m != nil {
@@ -223,11 +227,18 @@ func Run(alg Algorithm, s grid.Stencil, opts *core.SolveOptions) (core.Coloring,
 	ev := opts.EventLog()
 	ev.SolveStart(string(alg), s.Dims(), s.Len())
 	t0 := time.Now()
-	c, err := contained(d, s, opts.WithPhase(sp))
+	runOpts := opts.WithPhase(sp)
+	if fs.Active() {
+		// Solver-internal phases (and the distributed solver's wire
+		// messages) parent under the solve span, not the admission span.
+		runOpts.TraceCtx = fs.Context()
+	}
+	c, err := contained(d, s, runOpts)
 	dt := time.Since(t0)
 	sp.End()
 	opts.Sink().AddPhase(name, dt)
 	if err != nil {
+		fs.EndDetail(err.Error(), 0)
 		ev.SolveFinish(string(alg), 0, dt, err)
 		var se *core.SolveError
 		if errors.As(err, &se) {
@@ -236,8 +247,9 @@ func Run(alg Algorithm, s grid.Stencil, opts *core.SolveOptions) (core.Coloring,
 		}
 		return core.Coloring{}, fmt.Errorf("heuristics: %s: %w", alg, err)
 	}
-	if m != nil || ev != nil {
+	if m != nil || ev != nil || fs.Active() {
 		mc := c.MaxColor(s)
+		fs.EndDetail("", mc)
 		ev.SolveFinish(string(alg), mc, dt, nil)
 		if m != nil {
 			m.Solves.Add(1)
@@ -253,6 +265,14 @@ func Run(alg Algorithm, s grid.Stencil, opts *core.SolveOptions) (core.Coloring,
 		cc.Store(ckey, string(alg), opts.TenantID(), s, c, dt)
 	}
 	return c, nil
+}
+
+// startFlight opens the solve's span in the flight recorder when a
+// trace context rides in the options. It is a separate function so the
+// disabled path — a nil context yielding the zero (inactive) FlightSpan
+// — can be pinned allocation-free in isolation.
+func startFlight(opts *core.SolveOptions, name string) obsv.FlightSpan {
+	return opts.FlightCtx().Start(name)
 }
 
 // lookupCached consults the result cache when one is configured. It is

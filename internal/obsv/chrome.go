@@ -3,10 +3,13 @@ package obsv
 import (
 	"encoding/json"
 	"io"
+	"sort"
 )
 
-// chromeEvent is one complete ("ph":"X") event of the Chrome trace-event
-// format, the JSON that chrome://tracing and Perfetto load directly.
+// chromeEvent is one event of the Chrome trace-event format, the JSON
+// that chrome://tracing and Perfetto load directly: complete spans use
+// "ph":"X" with Ts/Dur, metadata rows (process_name / thread_name) use
+// "ph":"M" with only Args.
 type chromeEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
@@ -25,10 +28,32 @@ type chromeDoc struct {
 
 // WriteChrome emits the trace in Chrome trace-event JSON ("complete"
 // events, one tid per lane), loadable by chrome://tracing and Perfetto.
-// A nil or empty trace writes a valid document with no events.
+// When the trace has content, a process_name metadata row plus one
+// thread_name row per lane labeled via LabelLane precede the spans, so
+// distsolve shard lanes and service worker lanes render with their
+// names instead of bare tids. A nil or empty trace writes a valid
+// document with no events.
 func (t *Trace) WriteChrome(w io.Writer) error {
 	spans := t.Spans()
-	doc := chromeDoc{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	labels := t.laneLabels()
+	doc := chromeDoc{TraceEvents: make([]chromeEvent, 0, len(spans)+len(labels)+1), DisplayTimeUnit: "ms"}
+	if len(spans) > 0 || len(labels) > 0 {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: 1,
+			Args: map[string]any{"name": "ivc"},
+		})
+		lanes := make([]int, 0, len(labels))
+		for lane := range labels {
+			lanes = append(lanes, lane)
+		}
+		sort.Ints(lanes)
+		for _, lane := range lanes {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: lane,
+				Args: map[string]any{"name": labels[lane]},
+			})
+		}
+	}
 	for _, sp := range spans {
 		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 			Name: sp.Name,

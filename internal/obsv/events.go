@@ -133,10 +133,21 @@ func (e *EventSink) Fallback(component, reason string) {
 		slog.String("reason", reason))
 }
 
-// FaultInjected records a fault-injection firing: the site and the
-// visit number (1-based) on which the schedule fired.
-func (e *EventSink) FaultInjected(site string, visit int64) {
+// FaultInjected records a fault-injection firing: the site, the visit
+// number (1-based) on which the schedule fired, and — when the faulted
+// operation carried a request trace — the trace id, so a storm's
+// fault.injected events correlate with the flight-recorder dump of the
+// request they disrupted. Zero trace ids (untraced solves) omit the
+// attribute, keeping pre-tracing log output unchanged.
+func (e *EventSink) FaultInjected(site string, visit int64, trace uint64) {
 	if e == nil {
+		return
+	}
+	if trace != 0 {
+		e.log("fault.injected",
+			slog.String("site", site),
+			slog.Int64("visit", visit),
+			slog.String("trace_id", FlightID(trace)))
 		return
 	}
 	e.log("fault.injected",

@@ -42,7 +42,7 @@ func TestEventSinkJSON(t *testing.T) {
 	e.Speculation(64, 4, true)
 	e.RepairSweep(2, 9, false)
 	e.Fallback("pgreedy", "worker panic")
-	e.FaultInjected("pgreedy/halo-read", 7)
+	e.FaultInjected("pgreedy/halo-read", 7, 0xabc)
 	e.PartialResult(3, 7, "GLL")
 	e.Dropped("SGK", errors.New("panicked"))
 	e.ServiceAdmit("team-a", "job-1", 3)
@@ -78,6 +78,9 @@ func TestEventSinkJSON(t *testing.T) {
 	}
 	if objs[6]["site"] != "pgreedy/halo-read" || objs[6]["visit"] != float64(7) {
 		t.Errorf("fault.injected attrs = %v", objs[6])
+	}
+	if objs[6]["trace_id"] != FlightID(0xabc) {
+		t.Errorf("fault.injected trace_id = %v, want %s", objs[6]["trace_id"], FlightID(0xabc))
 	}
 	if objs[9]["tenant"] != "team-a" || objs[9]["queued"] != float64(3) {
 		t.Errorf("service.admit attrs = %v", objs[9])
@@ -118,7 +121,7 @@ func TestEventSinkNilAllocs(t *testing.T) {
 		e.Speculation(8, 2, false)
 		e.RepairSweep(1, 3, true)
 		e.Fallback("pgreedy", "reason")
-		e.FaultInjected("site", 1)
+		e.FaultInjected("site", 1, 0)
 		e.PartialResult(1, 2, "GLL")
 		e.Dropped("BD", err)
 		e.ServiceAdmit("t", "j", 1)

@@ -47,18 +47,30 @@ func writeSimple(w io.Writer, name, help, kind, value string) error {
 }
 
 // writeHistogram emits the cumulative bucket series plus _sum and
-// _count samples of one histogram.
+// _count samples of one histogram. Buckets whose exemplar cell was
+// stamped (ObserveExemplar with a nonzero trace id) additionally carry
+// an OpenMetrics-style exemplar — `# {trace_id="<hex>"} <value>` — so a
+// latency bucket links back to a concrete request in the flight
+// recorder; unstamped buckets emit the plain 0.0.4 sample, keeping the
+// output byte-identical for exemplar-free registries.
 func writeHistogram(w io.Writer, name, help string, h *Histogram) error {
 	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
 		name, escapeHelp(help), name); err != nil {
 		return err
 	}
-	for _, b := range h.Buckets() {
+	for i, b := range h.Buckets() {
 		le := "+Inf"
 		if !math.IsInf(b.UpperBound, 1) {
 			le = formatFloat(b.UpperBound)
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, b.CumulativeCount); err != nil {
+		ex := ""
+		if i < len(h.ex) {
+			if t := h.ex[i].trace.Load(); t != 0 {
+				ex = fmt.Sprintf(" # {trace_id=%q} %s",
+					FlightID(t), formatFloat(math.Float64frombits(h.ex[i].bits.Load())))
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", name, le, b.CumulativeCount, ex); err != nil {
 			return err
 		}
 	}

@@ -104,20 +104,47 @@ type Histogram struct {
 	bounds     []float64 // ascending upper bounds; +Inf bucket is implicit
 	counts     []atomic.Int64
 	sumBits    atomic.Uint64
+	// ex holds one last-write-wins exemplar cell per bucket, stamped by
+	// ObserveExemplar and emitted by WritePrometheus; index-aligned with
+	// counts.
+	ex []exemplarCell
 }
 
-// Observe records one observation of value v.
-func (h *Histogram) Observe(v float64) {
-	if h == nil {
-		return
+// exemplarCell is one bucket's exemplar: the last observed value (as
+// float64 bits) and the trace id it came from. The two stores are
+// independent atomics — a torn pair can mismatch value and trace for
+// one scrape, which is acceptable for exemplars (they are samples, not
+// accounting).
+type exemplarCell struct {
+	trace atomic.Uint64
+	bits  atomic.Uint64
+}
+
+// NewHistogram builds an unregistered histogram with the given bucket
+// upper bounds (ascending) — the constructor for per-key histograms
+// (the service's per-tenant SLO latency ladders) that should not join
+// a registry's flat exposition namespace.
+func NewHistogram(buckets []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]atomic.Int64, len(buckets)+1),
+		ex:     make([]exemplarCell, len(buckets)+1),
 	}
-	// Binary search is overkill for the short bucket lists we use; the
-	// linear scan stays branch-predictable and allocation-free.
+}
+
+// bucketIdx returns the index of the bucket v falls into. Binary search
+// is overkill for the short bucket lists we use; the linear scan stays
+// branch-predictable and allocation-free.
+func (h *Histogram) bucketIdx(v float64) int {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
-	h.counts[i].Add(1)
+	return i
+}
+
+// addSum folds v into the running sum.
+func (h *Histogram) addSum(v float64) {
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -125,6 +152,84 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// Observe records one observation of value v.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[h.bucketIdx(v)].Add(1)
+	h.addSum(v)
+}
+
+// ObserveExemplar records v like Observe and additionally stamps the
+// bucket's exemplar with the originating trace id, so the Prometheus
+// exposition links latency buckets back to concrete requests in the
+// flight recorder. A zero trace id records the value without touching
+// the exemplar.
+func (h *Histogram) ObserveExemplar(v float64, trace uint64) {
+	if h == nil {
+		return
+	}
+	i := h.bucketIdx(v)
+	h.counts[i].Add(1)
+	h.addSum(v)
+	if trace != 0 && i < len(h.ex) {
+		h.ex[i].bits.Store(math.Float64bits(v))
+		h.ex[i].trace.Store(trace)
+	}
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution by linear interpolation within the bucket where the
+// cumulative count crosses q*count — the same estimator as PromQL's
+// histogram_quantile, computed locally. Degenerate cases: a nil or
+// empty histogram returns 0; when the target rank lands in the +Inf
+// bucket the highest finite bound is returned (0 with no finite
+// bounds); q outside [0, 1] clamps.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 || math.IsNaN(q) {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	lo := 0.0
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if i == len(h.bounds) {
+			// The +Inf tail: no upper edge to interpolate toward, so the
+			// highest finite bound is the best (under-)estimate.
+			if cum+c >= rank && c > 0 {
+				return lo
+			}
+			break
+		}
+		hi := h.bounds[i]
+		if cum+c >= rank && c > 0 {
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+		lo = hi
+	}
+	return lo
 }
 
 // ObserveInt records one observation of integer value v.
@@ -310,11 +415,8 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
-	fresh := &Histogram{
-		name: name, help: help,
-		bounds: append([]float64(nil), buckets...),
-		counts: make([]atomic.Int64, len(buckets)+1),
-	}
+	fresh := NewHistogram(buckets)
+	fresh.name, fresh.help = name, help
 	return r.lookup(name, help, fresh).(*Histogram)
 }
 

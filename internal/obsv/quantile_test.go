@@ -1,0 +1,136 @@
+package obsv
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestQuantileEmpty: nil and observation-free histograms estimate 0 for
+// every q.
+func TestQuantileEmpty(t *testing.T) {
+	var nilH *Histogram
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := nilH.Quantile(q); got != 0 {
+			t.Errorf("nil.Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	h := NewHistogram([]float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty.Quantile(0.5) = %v, want 0", got)
+	}
+}
+
+// TestQuantileSingleBucket: all mass in one bucket interpolates
+// linearly across that bucket's width.
+func TestQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5) // all land in (1, 2]
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %v, want 1.5", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Quantile(1) = %v, want 2", got)
+	}
+	// q=0 clamps the rank to the bucket's lower edge.
+	if got := h.Quantile(0); got < 1 || got > 2 {
+		t.Errorf("Quantile(0) = %v, want within (1, 2]", got)
+	}
+}
+
+// TestQuantileInterpolation: mass spread over several buckets crosses
+// the rank mid-bucket and interpolates between bounds.
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 4; i++ {
+		h.Observe(0.5) // bucket (0, 1]
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(3) // bucket (2, 4]
+	}
+	// rank(0.75) = 6: 4 below 1, crossing 2 into the (2,4] bucket at
+	// fraction 2/4 → 2 + (4-2)*0.5 = 3.
+	if got := h.Quantile(0.75); math.Abs(got-3) > 1e-9 {
+		t.Errorf("Quantile(0.75) = %v, want 3", got)
+	}
+	// Out-of-range q clamps rather than extrapolating.
+	if got := h.Quantile(2); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Quantile(2) = %v, want 4 (clamped to q=1)", got)
+	}
+	if got := h.Quantile(math.NaN()); got < 0 || got > 1 {
+		t.Errorf("Quantile(NaN) = %v, want within first bucket", got)
+	}
+}
+
+// TestQuantileInfTail: ranks landing in the +Inf bucket return the
+// highest finite bound instead of infinity.
+func TestQuantileInfTail(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(100) // +Inf bucket
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("Quantile(0.99) = %v, want 2 (highest finite bound)", got)
+	}
+	// No finite bounds at all: the estimate degrades to 0.
+	inf := NewHistogram(nil)
+	inf.Observe(5)
+	if got := inf.Quantile(0.5); got != 0 {
+		t.Errorf("boundless Quantile(0.5) = %v, want 0", got)
+	}
+}
+
+// TestObserveExemplar: exemplar cells stamp the observed value and
+// trace id on the bucket the value lands in; zero trace ids count the
+// observation without stamping.
+func TestObserveExemplar(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.ObserveExemplar(1.5, 0) // counted, not stamped
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	for i := range h.ex {
+		if h.ex[i].trace.Load() != 0 {
+			t.Fatalf("zero-trace observation stamped bucket %d", i)
+		}
+	}
+	h.ObserveExemplar(1.5, 0xbeef)
+	if got := h.ex[1].trace.Load(); got != 0xbeef {
+		t.Fatalf("bucket 1 trace = %#x, want 0xbeef", got)
+	}
+	if got := math.Float64frombits(h.ex[1].bits.Load()); got != 1.5 {
+		t.Fatalf("bucket 1 value = %v, want 1.5", got)
+	}
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, 1) // no-op, must not panic
+}
+
+// TestExposeExemplars: WritePrometheus renders OpenMetrics-style
+// exemplar suffixes only on stamped buckets, so exemplar-free
+// registries stay byte-identical with the pre-exemplar format.
+func TestExposeExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{1, 2})
+	h.Observe(0.5)
+	var plain strings.Builder
+	if err := r.WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "#_{") || strings.Contains(plain.String(), "trace_id") {
+		t.Fatalf("unstamped exposition carries exemplars:\n%s", plain.String())
+	}
+
+	h.ObserveExemplar(1.5, 0xabcd)
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := `lat_seconds_bucket{le="2"} 2 # {trace_id="000000000000abcd"} 1.5`
+	if !strings.Contains(out.String(), want) {
+		t.Fatalf("exposition missing exemplar line %q:\n%s", want, out.String())
+	}
+	if !strings.Contains(out.String(), `lat_seconds_bucket{le="1"} 1`+"\n") {
+		t.Fatalf("unstamped bucket line altered:\n%s", out.String())
+	}
+}

@@ -19,8 +19,9 @@ import (
 type Trace struct {
 	t0 time.Time
 
-	mu    sync.Mutex
-	spans []SpanRecord
+	mu        sync.Mutex
+	spans     []SpanRecord
+	laneNames map[int]string
 
 	lanes atomic.Int64
 }
@@ -69,6 +70,40 @@ func (t *Trace) Lane() int {
 		return 0
 	}
 	return int(t.lanes.Add(1))
+}
+
+// LabelLane names a lane for human-facing renderings — the Chrome
+// export emits it as thread_name metadata so distsolve shard lanes and
+// service worker lanes show up labeled in chrome://tracing instead of
+// as bare tids. Later labels for the same lane win. No-op on nil.
+func (t *Trace) LabelLane(lane int, name string) {
+	if t == nil || name == "" {
+		return
+	}
+	t.mu.Lock()
+	if t.laneNames == nil {
+		t.laneNames = make(map[int]string)
+	}
+	t.laneNames[lane] = name
+	t.mu.Unlock()
+}
+
+// laneLabels returns a copy of the lane-name map; nil when no lane has
+// been labeled (or on a nil trace).
+func (t *Trace) laneLabels() map[int]string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.laneNames) == 0 {
+		return nil
+	}
+	out := make(map[int]string, len(t.laneNames))
+	for k, v := range t.laneNames {
+		out[k] = v
+	}
+	return out
 }
 
 // Start opens a root span on the main lane (lane 0). A nil trace

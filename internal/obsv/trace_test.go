@@ -127,12 +127,15 @@ func TestTraceConcurrentLanes(t *testing.T) {
 	}
 }
 
-// TestWriteChrome: the emitted JSON parses, uses complete events, and
+// TestWriteChrome: the emitted JSON parses, uses complete events for
+// spans plus metadata events for process and labeled lane names, and
 // maps lanes to tids.
 func TestWriteChrome(t *testing.T) {
 	tr := NewTrace()
+	lane := tr.Lane()
+	tr.LabelLane(lane, "dist/shard-0")
 	sp := tr.Start("solve")
-	sp.Child("inner").End()
+	sp.ChildLane(lane, "inner").End()
 	sp.End()
 	var buf bytes.Buffer
 	if err := tr.WriteChrome(&buf); err != nil {
@@ -140,27 +143,41 @@ func TestWriteChrome(t *testing.T) {
 	}
 	var doc struct {
 		TraceEvents []struct {
-			Name string  `json:"name"`
-			Ph   string  `json:"ph"`
-			Ts   float64 `json:"ts"`
-			Dur  float64 `json:"dur"`
-			Tid  int     `json:"tid"`
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
 		} `json:"traceEvents"`
 		DisplayTimeUnit string `json:"displayTimeUnit"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("chrome JSON does not parse: %v", err)
 	}
-	if len(doc.TraceEvents) != 2 || doc.DisplayTimeUnit != "ms" {
-		t.Fatalf("unexpected document: %+v", doc)
-	}
+	var complete, meta int
+	var laneNamed bool
 	for _, ev := range doc.TraceEvents {
-		if ev.Ph != "X" {
-			t.Errorf("event %q has phase %q, want X", ev.Name, ev.Ph)
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Errorf("event %q has negative time: ts=%f dur=%f", ev.Name, ev.Ts, ev.Dur)
+			}
+		case "M":
+			meta++
+			if ev.Name == "thread_name" && ev.Tid == lane && ev.Args["name"] == "dist/shard-0" {
+				laneNamed = true
+			}
+		default:
+			t.Errorf("event %q has phase %q, want X or M", ev.Name, ev.Ph)
 		}
-		if ev.Ts < 0 || ev.Dur < 0 {
-			t.Errorf("event %q has negative time: ts=%f dur=%f", ev.Name, ev.Ts, ev.Dur)
-		}
+	}
+	if complete != 2 || doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("unexpected document (complete=%d): %+v", complete, doc)
+	}
+	if meta != 2 || !laneNamed {
+		t.Fatalf("metadata events wrong (meta=%d, laneNamed=%v): %+v", meta, laneNamed, doc)
 	}
 }
 

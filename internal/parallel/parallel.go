@@ -280,7 +280,12 @@ func (r *run) newScratch() *scratch {
 	w.pl.Reset(r.g, r.uniW)
 	w.m = r.opts.Meters()
 	w.shard = int(r.workerSeq.Add(1))
-	w.lane = r.opts.Tracer().Lane()
+	if tr := r.opts.Tracer(); tr != nil {
+		w.lane = tr.Lane()
+		tr.LabelLane(w.lane, fmt.Sprintf("tile-worker-%d", w.shard))
+	} else {
+		w.lane = 0
+	}
 	return w
 }
 

@@ -186,6 +186,11 @@ func (b *batcher) doFlush(bt *batch) {
 	b.metrics.BatchSize.ObserveInt(int64(len(bt.jobs)))
 	for _, j := range bt.jobs {
 		b.metrics.BatchWaitSeconds.Observe(now.Sub(j.enqueued).Seconds())
+		// Stamp the coalescing wait as a retroactive "batch" span and
+		// mark the flush time for the dispatcher's "schedule" span (the
+		// scheduler mutex orders this write against the worker's read).
+		j.flushed = now
+		j.tc.Observe("batch", j.enqueued, now.Sub(j.enqueued))
 	}
 	b.events.ServiceBatch(bt.key, len(bt.jobs), now.Sub(bt.oldest))
 	b.flush(bt)

@@ -16,15 +16,17 @@ const maxRequestBytes = 32 << 20
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST /solve     submit a job (sync by default, async with "async": true)
-//	GET  /jobs/{id} poll a job's result
-//	GET  /healthz   liveness plus per-tenant scheduler accounting
-//	GET  /metrics   Prometheus exposition of the configured registry
+//	POST /solve        submit a job (sync by default, async with "async": true)
+//	GET  /jobs/{id}    poll a job's result
+//	GET  /healthz      liveness plus per-tenant scheduler accounting
+//	GET  /metrics      Prometheus exposition of the configured registry
+//	GET  /debug/flight flight-recorder dump (filter by trace/tenant/job)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /solve", s.handleSolve)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /debug/flight", obsv.FlightHandler(s.flight))
 	if s.cfg.Registry != nil {
 		mux.Handle("GET /metrics", obsv.Handler(s.cfg.Registry))
 	}

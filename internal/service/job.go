@@ -9,6 +9,7 @@ import (
 
 	"stencilivc/internal/grid"
 	"stencilivc/internal/heuristics"
+	"stencilivc/internal/obsv"
 )
 
 // Request is the JSON body of POST /solve. An instance arrives either
@@ -40,6 +41,12 @@ type Request struct {
 	// mid-portfolio returns the best-so-far coloring as a partial
 	// result.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Shards > 1 runs the job on the fault-tolerant distributed sharded
+	// solver split into this many shards instead of the in-process
+	// solver. Only the greedy orders the round protocol pins its fixpoint
+	// to are shardable ("GLL", "GLF"); other algorithms — and "best" —
+	// reject at admission. 0 or 1 solves in-process as before.
+	Shards int `json:"shards,omitempty"`
 	// Async makes POST /solve return 202 with the job id immediately;
 	// poll GET /jobs/{id} for the result.
 	Async bool `json:"async,omitempty"`
@@ -86,6 +93,10 @@ type Result struct {
 	QueueMS float64 `json:"queue_ms,omitempty"`
 	// WallMS is the end-to-end admission-to-completion wall time.
 	WallMS float64 `json:"wall_ms,omitempty"`
+	// TraceID is the job's flight-recorder trace id in canonical hex —
+	// paste it into GET /debug/flight?trace=... to see the request's span
+	// tree. Empty when the server runs without a flight recorder.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // job is the internal unit flowing transport → batcher → scheduler →
@@ -98,6 +109,16 @@ type job struct {
 	stencil  grid.Stencil
 	deadline time.Time // zero = unbounded
 	enqueued time.Time
+	// shards > 1 routes the job to the distributed sharded solver.
+	shards int
+	// tc is the job's flight-recorder context, parented under the
+	// admission span (nil when the server has no recorder); every later
+	// stage records its span against it.
+	tc *obsv.TraceContext
+	// flushed is when the batcher flushed the job to the scheduler,
+	// written by the batcher goroutine and read by the dispatching worker
+	// (the scheduler mutex orders the two).
+	flushed time.Time
 
 	mu       sync.Mutex
 	res      Result
@@ -134,6 +155,9 @@ func (j *job) finish(res Result) {
 	j.finished = true
 	res.ID, res.Tenant = j.id, j.tenant
 	res.WallMS = float64(time.Since(j.enqueued).Microseconds()) / 1000
+	if t := j.tc.TraceID(); t != 0 {
+		res.TraceID = obsv.FlightID(t)
+	}
 	j.res = res
 	close(j.done)
 }
@@ -166,9 +190,18 @@ func parseRequest(req *Request) (tenant string, alg heuristics.Algorithm, s grid
 	if err != nil {
 		return "", "", nil, err
 	}
+	if req.Shards < 0 {
+		return "", "", nil, fmt.Errorf("shards must be >= 0, got %d", req.Shards)
+	}
 	alg = heuristics.Algorithm(req.Alg)
 	if alg == "" || alg == algBest {
+		if req.Shards > 1 {
+			return "", "", nil, fmt.Errorf("the %q portfolio cannot run sharded; pick GLL or GLF", algBest)
+		}
 		return tenant, algBest, s, nil
+	}
+	if req.Shards > 1 && alg != "GLL" && alg != "GLF" {
+		return "", "", nil, fmt.Errorf("%s cannot run sharded: the distributed solver pins its fixpoint to the GLL/GLF greedy orders", alg)
 	}
 	d, ok := heuristics.Lookup(alg)
 	if !ok {

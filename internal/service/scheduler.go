@@ -3,6 +3,7 @@ package service
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"stencilivc/internal/obsv"
 )
@@ -18,6 +19,12 @@ type tenantState struct {
 
 	admitted int64 // jobs admitted past the queue bound, lifetime
 	shed     int64 // jobs refused or dropped by the overload policy, lifetime
+	partials int64 // completed jobs that returned a best-so-far partial
+
+	// slo holds the tenant's queue-wait / solve / total latency
+	// histograms backing the /healthz quantile surface. The histograms
+	// are internally atomic: observations happen outside mu.
+	slo *obsv.TenantSLO
 }
 
 // TenantStats is the externally visible accounting of one tenant,
@@ -37,6 +44,26 @@ type TenantStats struct {
 	// ServedWork is the weight-normalized solve work (vertices/weight)
 	// dispatched to workers so far.
 	ServedWork float64 `json:"served_work"`
+	// Partial counts completed jobs that returned a best-so-far partial
+	// coloring, lifetime.
+	Partial int64 `json:"partial,omitempty"`
+	// ShedRatio is shed / (admitted + shed) — the fraction of offered
+	// jobs the overload policy refused.
+	ShedRatio float64 `json:"shed_ratio,omitempty"`
+	// PartialRatio is partial / completed — the fraction of finished
+	// jobs that missed their deadline mid-solve.
+	PartialRatio float64 `json:"partial_ratio,omitempty"`
+	// P50MS, P95MS, and P99MS are the tenant's end-to-end
+	// (admission-to-completion) latency quantiles in milliseconds.
+	P50MS float64 `json:"p50_ms,omitempty"`
+	// P95MS is the 95th-percentile end-to-end latency.
+	P95MS float64 `json:"p95_ms,omitempty"`
+	// P99MS is the 99th-percentile end-to-end latency.
+	P99MS float64 `json:"p99_ms,omitempty"`
+	// P50QueueMS is the median admission-to-dispatch wait.
+	P50QueueMS float64 `json:"p50_queue_ms,omitempty"`
+	// P50SolveMS is the median solver wall time.
+	P50SolveMS float64 `json:"p50_solve_ms,omitempty"`
 }
 
 // scheduler is the bounded worker pool with per-tenant weighted fair
@@ -86,7 +113,7 @@ func (s *scheduler) tenant(name string) *tenantState {
 		if w <= 0 {
 			w = 1
 		}
-		ts = &tenantState{name: name, weight: w}
+		ts = &tenantState{name: name, weight: w, slo: obsv.NewTenantSLO()}
 		s.tenants[name] = ts
 	}
 	return ts
@@ -238,16 +265,45 @@ func (s *scheduler) next() *batch {
 	}
 }
 
+// observeSLO records one completed job into tenant name's latency
+// histograms and partial accounting; queue is admission-to-dispatch,
+// solve the solver wall time, total admission-to-completion.
+func (s *scheduler) observeSLO(name string, queue, solve, total time.Duration, partial bool) {
+	s.mu.Lock()
+	ts := s.tenant(name)
+	if partial {
+		ts.partials++
+	}
+	slo := ts.slo
+	s.mu.Unlock()
+	slo.Queue.Observe(queue.Seconds())
+	slo.Solve.Observe(solve.Seconds())
+	slo.Total.Observe(total.Seconds())
+}
+
 // stats snapshots every tenant's accounting, sorted by name.
 func (s *scheduler) stats() []TenantStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]TenantStats, 0, len(s.tenants))
 	for _, ts := range s.tenants {
-		out = append(out, TenantStats{
+		st := TenantStats{
 			Tenant: ts.name, Weight: ts.weight, Queued: ts.queued,
 			Admitted: ts.admitted, Shed: ts.shed, ServedWork: ts.served,
-		})
+			Partial: ts.partials,
+		}
+		if offered := ts.admitted + ts.shed; offered > 0 {
+			st.ShedRatio = float64(ts.shed) / float64(offered)
+		}
+		if done := ts.slo.Total.Count(); done > 0 {
+			st.PartialRatio = float64(ts.partials) / float64(done)
+			st.P50MS = ts.slo.Total.Quantile(0.5) * 1000
+			st.P95MS = ts.slo.Total.Quantile(0.95) * 1000
+			st.P99MS = ts.slo.Total.Quantile(0.99) * 1000
+			st.P50QueueMS = ts.slo.Queue.Quantile(0.5) * 1000
+			st.P50SolveMS = ts.slo.Solve.Quantile(0.5) * 1000
+		}
+		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
 	return out

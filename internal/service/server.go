@@ -10,8 +10,10 @@ import (
 	"time"
 
 	"stencilivc/internal/core"
+	"stencilivc/internal/distsolve"
 	"stencilivc/internal/heuristics"
 	"stencilivc/internal/obsv"
+	"stencilivc/internal/parallel"
 	"stencilivc/internal/resultcache"
 )
 
@@ -50,6 +52,15 @@ type Config struct {
 	Sampler *obsv.Sampler
 	// Injector, when non-nil, arms the service/* and solver fault sites.
 	Injector core.Injector
+	// FlightEntries sizes the always-on flight recorder (per-request
+	// trace ring behind GET /debug/flight); <= 0 picks 4096 entries. The
+	// recorder cannot be disabled: it is fixed-cost and allocation-free
+	// on the record path.
+	FlightEntries int
+	// Flight, when non-nil, is used instead of a recorder built from
+	// FlightEntries — tests inject a shared recorder here so chaos
+	// injectors and the server record into the same ring.
+	Flight *obsv.FlightRecorder
 	// JobRetention bounds how many finished jobs GET /jobs/{id} can
 	// still see; <= 0 picks 1024.
 	JobRetention int
@@ -100,6 +111,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.JobRetention <= 0 {
 		cfg.JobRetention = 1024
 	}
+	if cfg.FlightEntries <= 0 {
+		cfg.FlightEntries = 4096
+	}
 	return cfg
 }
 
@@ -111,6 +125,11 @@ type Server struct {
 	solveM  *obsv.SolveMetrics
 	batcher *batcher
 	sched   *scheduler
+	// flight is the always-on per-request trace ring behind
+	// GET /debug/flight; slo holds the aggregate latency histograms
+	// exposed with trace-id exemplars at /metrics.
+	flight *obsv.FlightRecorder
+	slo    *obsv.SLOMetrics
 	// cache memoizes completed solves by instance fingerprint; nil when
 	// Config.CacheBytes < 0 disabled it.
 	cache *resultcache.Cache
@@ -155,6 +174,11 @@ func New(cfg Config) (*Server, error) {
 		s.metrics = obsv.NewServiceMetrics(nil)
 		s.solveM = obsv.NewSolveMetrics(nil)
 	}
+	s.flight = cfg.Flight
+	if s.flight == nil {
+		s.flight = obsv.NewFlightRecorder(cfg.FlightEntries, cfg.Registry)
+	}
+	s.slo = obsv.NewSLOMetrics(cfg.Registry)
 	if cfg.CacheBytes >= 0 {
 		store := cfg.CacheStore
 		if store == nil && cfg.CacheDir != "" {
@@ -228,7 +252,15 @@ func (s *Server) Submit(req *Request) (*job, error) {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
 	id := fmt.Sprintf("job-%d", s.nextID.Add(1))
+	// Mint the request's trace: the admission span is the root, and the
+	// job's context is parented under it so every later stage (batch,
+	// schedule, solve, distsolve rounds) hangs off one tree.
+	tc := s.flight.NewContext(id, tenant)
+	adm := tc.Start("admission")
+	defer adm.End()
 	j := newJob(id, tenant, alg, stencil, time.Now().Add(timeout))
+	j.shards = req.Shards
+	j.tc = adm.Context()
 	s.remember(j)
 
 	s.closeMu.RLock()
@@ -263,6 +295,8 @@ func (s *Server) shed(j *job, reason string, counted bool) {
 	if !counted {
 		s.sched.shedStats(j.tenant)
 	}
+	j.tc.Event("service.shed", reason, 0)
+	s.flight.Incident(j.tc.TraceID(), "shed: "+reason)
 	s.cfg.Events.ServiceShed(j.tenant, j.id, reason)
 	j.finish(Result{Status: StatusShed, Error: reason})
 }
@@ -317,12 +351,18 @@ func (s *Server) runJob(j *job) {
 		if rec := recover(); rec != nil {
 			se := core.PanicToError(string(j.alg), rec)
 			s.solveM.PanicsRecovered.Add(1)
+			s.flight.Incident(j.tc.TraceID(), "worker panic: "+se.Error())
 			s.cfg.Events.Fallback("service/worker", se.Error())
 			j.finish(Result{Status: StatusError, Error: se.Error()})
 		}
 	}()
 
 	queueWait := time.Since(j.enqueued)
+	if !j.flushed.IsZero() {
+		// The scheduler wait, stamped retroactively: flush-to-dispatch
+		// (the batch span already covers admission-to-flush).
+		j.tc.Observe("schedule", j.flushed, time.Since(j.flushed))
+	}
 	if j.expired(time.Now()) {
 		s.sched.shedStats(j.tenant)
 		s.shedExpired(j, queueWait)
@@ -330,9 +370,11 @@ func (s *Server) runJob(j *job) {
 	}
 	if s.cfg.Injector != nil {
 		// A Panicking rule crashes here; the deferred recover contains it.
-		s.cfg.Injector.Inject(SiteWorkerPanic)
+		core.InjectTraced(s.cfg.Injector, SiteWorkerPanic, j.tc.TraceID())
 	}
 
+	fs := j.tc.Start("solve")
+	solveStart := time.Now()
 	opts := &core.SolveOptions{
 		Ctx:             s.baseCtx,
 		Tenant:          j.tenant,
@@ -341,6 +383,7 @@ func (s *Server) runJob(j *job) {
 		Events:          s.cfg.Events,
 		Sampler:         s.cfg.Sampler,
 		Injector:        s.cfg.Injector,
+		TraceCtx:        fs.Context(),
 		PartialOnCancel: true,
 	}
 	if s.cache != nil {
@@ -353,12 +396,24 @@ func (s *Server) runJob(j *job) {
 		winner heuristics.Algorithm
 		err    error
 	)
-	if j.alg == algBest {
+	switch {
+	case j.alg == algBest:
 		c, winner, err = heuristics.Best(j.stencil, opts)
-	} else {
+	case j.shards > 1:
+		// Sharded dispatch: the distributed solver reproduces the GLL /
+		// GLF greedy fixpoint (parseRequest admitted nothing else), with
+		// its round spans and fault events recording under opts.TraceCtx.
+		ord := parallel.OrderLine
+		if j.alg == "GLF" {
+			ord = parallel.OrderWeightDesc
+		}
+		winner = j.alg
+		c, err = distsolve.Solve(j.stencil, distsolve.Config{Shards: j.shards, Order: ord}, opts)
+	default:
 		winner = j.alg
 		c, err = heuristics.Run(j.alg, j.stencil, opts)
 	}
+	solveWall := time.Since(solveStart)
 
 	res := Result{
 		Alg:     string(winner),
@@ -380,12 +435,19 @@ func (s *Server) runJob(j *job) {
 	default:
 		res.Status = StatusError
 		res.Error = err.Error()
+		s.flight.Incident(j.tc.TraceID(), "solve error: "+res.Error)
 	}
+	fs.EndDetail(res.Status, res.MaxColor)
 	j.finish(res)
 	snap := j.snapshot()
-	s.metrics.RequestSeconds.Observe(time.Duration(snap.WallMS * float64(time.Millisecond)).Seconds())
-	s.cfg.Events.ServiceDone(j.tenant, j.id, res.MaxColor,
-		time.Duration(snap.WallMS*float64(time.Millisecond)), res.Partial)
+	total := time.Duration(snap.WallMS * float64(time.Millisecond))
+	s.metrics.RequestSeconds.Observe(total.Seconds())
+	trace := j.tc.TraceID()
+	s.slo.Queue.ObserveExemplar(queueWait.Seconds(), trace)
+	s.slo.Solve.ObserveExemplar(solveWall.Seconds(), trace)
+	s.slo.Total.ObserveExemplar(total.Seconds(), trace)
+	s.sched.observeSLO(j.tenant, queueWait, solveWall, total, res.Partial)
+	s.cfg.Events.ServiceDone(j.tenant, j.id, res.MaxColor, total, res.Partial)
 }
 
 // shedExpired finishes a job whose deadline passed while it waited in
@@ -394,6 +456,8 @@ func (s *Server) runJob(j *job) {
 func (s *Server) shedExpired(j *job, queueWait time.Duration) {
 	reason := fmt.Sprintf("deadline expired after %.1fms queued: shed instead of running a doomed solve (mid-solve expiry would return a partial result; see ErrPartial)",
 		float64(queueWait.Microseconds())/1000)
+	j.tc.Event("service.shed", reason, 0)
+	s.flight.Incident(j.tc.TraceID(), "shed: "+reason)
 	s.cfg.Events.ServiceShed(j.tenant, j.id, reason)
 	j.finish(Result{Status: StatusShed, Error: reason,
 		QueueMS: float64(queueWait.Microseconds()) / 1000})
@@ -406,3 +470,7 @@ func (s *Server) Stats() []TenantStats { return s.sched.stats() }
 // Cache returns the server's result cache, or nil when Config.CacheBytes
 // disabled it (for /healthz and the cache e2e tests).
 func (s *Server) Cache() *resultcache.Cache { return s.cache }
+
+// Flight returns the server's flight recorder (never nil) so embedders
+// can mount obsv.FlightHandler or dump incidents on shutdown.
+func (s *Server) Flight() *obsv.FlightRecorder { return s.flight }

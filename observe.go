@@ -41,6 +41,18 @@ type (
 	// the flat record the benchmark-trajectory pipeline embeds in
 	// BENCH_*.json.
 	RuntimeSummary = obsv.SamplerSummary
+	// FlightRecorder is the always-on bounded ring of recent trace
+	// records, dumped via FlightHandler at /debug/flight.
+	FlightRecorder = obsv.FlightRecorder
+	// TraceContext identifies one request's trace (trace id + parent
+	// span); attach to SolveOptions.TraceCtx to record flight spans for a
+	// solve. Nil costs one pointer compare.
+	TraceContext = obsv.TraceContext
+	// FlightSpan is one open flight-recorder span; a value type so the
+	// disabled path allocates nothing.
+	FlightSpan = obsv.FlightSpan
+	// FlightRecord is one retained flight-recorder entry.
+	FlightRecord = obsv.FlightRecord
 )
 
 // NewTrace returns an empty trace whose clock starts now; put it in
@@ -78,6 +90,19 @@ func NewRuntimeSampler(r *MetricsRegistry, interval time.Duration) *RuntimeSampl
 // format (plus scrape-time Go runtime gauges), ready to mount at
 // /metrics alongside net/http/pprof and expvar.
 func MetricsHandler(r *MetricsRegistry) http.Handler { return obsv.Handler(r) }
+
+// NewFlightRecorder returns a flight recorder retaining about entries
+// recent records (non-positive picks obsv.DefaultFlightEntries).
+// Passing a registry additionally registers the flight_* counters;
+// a nil registry is allowed.
+func NewFlightRecorder(entries int, r *MetricsRegistry) *FlightRecorder {
+	return obsv.NewFlightRecorder(entries, r)
+}
+
+// FlightHandler returns an http.Handler serving the recorder as a JSON
+// dump (the GET /debug/flight surface), filterable by trace id, tenant,
+// and job.
+func FlightHandler(f *FlightRecorder) http.Handler { return obsv.FlightHandler(f) }
 
 // SolveWithTrace runs Solve with a fresh trace attached and returns the
 // trace alongside the coloring: the one-liner for "where did this solve
